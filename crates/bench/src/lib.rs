@@ -1,0 +1,4 @@
+//! Experiment drivers and Criterion benchmarks for the Halpern–Moses
+//! reproduction. See `src/bin/experiments.rs` for the per-experiment
+//! driver and `benches/` for the performance benchmarks.
+#![forbid(unsafe_code)]

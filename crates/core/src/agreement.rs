@@ -1,0 +1,388 @@
+//! Simultaneous agreement under crash failures (Section 11 footnote 5,
+//! after Dwork–Moses \[DM90\]).
+//!
+//! The paper notes that in Byzantine-agreement protocols the nonfaulty
+//! processors attain common knowledge of the decision value "at the end
+//! of phase k" — the knowledge-theoretic reason simultaneous agreement
+//! with up to `f` crash failures needs `f + 1` rounds. This module builds
+//! the full crash-failure run space of a synchronous full-information
+//! protocol and checks:
+//!
+//! - **agreement, validity, simultaneity** across *every* crash pattern
+//!   and input assignment;
+//! - the decision value is **common knowledge at the end of round
+//!   `f + 1`** in failure-free runs — and *not* at the end of round `f`
+//!   (the lower-bound shape).
+//!
+//! Crash semantics: a processor crashing in round `r` sends that round's
+//! messages to an adversary-chosen subset of the others, then is silent
+//! forever. We enumerate every `(crasher, round, subset)` with at most
+//! `f = 1` crash, plus the failure-free pattern, over all binary input
+//! assignments.
+
+use hm_kripke::{AgentGroup, AgentId};
+use hm_logic::{EvalError, Formula};
+use hm_runs::{CompleteHistory, Event, InterpretedSystem, Message, RunBuilder, System};
+
+/// Message tag for a round broadcast; `data` encodes the sender's current
+/// seen-set (bitmask of initial values observed, by processor).
+pub const TAG_ROUND: u32 = 20;
+/// Action code for the decision; `data` is the decided value.
+pub const ACT_DECIDE: u32 = 201;
+
+/// Configuration of the agreement experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AgreementSpec {
+    /// Number of processors (3..=4 keeps enumeration snappy).
+    pub n: usize,
+    /// Maximum number of crashes (this implementation enumerates `f ≤ 1`).
+    pub f: usize,
+}
+
+/// One enumerated crash pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum CrashPattern {
+    None,
+    /// `(crasher, round (1-based), recipients that still get its round-r
+    /// message)`.
+    Crash(usize, usize, Vec<usize>),
+}
+
+/// Builds the full system of runs of the `f + 1`-round full-information
+/// protocol: every input assignment in `{0,1}^n` × every crash pattern.
+///
+/// Timeline: round `r` messages are sent at time `r` and received at
+/// time `r` (entering histories at `r + 1`); decisions are recorded at
+/// time `f + 1 + 1`. The horizon is `f + 3`.
+///
+/// # Panics
+///
+/// Panics if `spec.f != 1` or `spec.n < 3` (the interesting minimal case;
+/// the structure generalises but enumeration grows fast).
+pub fn agreement_system(spec: AgreementSpec) -> System {
+    assert_eq!(spec.f, 1, "this experiment enumerates exactly f = 1");
+    assert!(spec.n >= 3, "need n >= 3 for f = 1");
+    let n = spec.n;
+    let rounds = spec.f + 1; // f+1 = 2 rounds
+    let decide_at = (rounds + 1) as u64; // decisions enter history by then
+    let horizon = decide_at + 1;
+
+    let mut patterns = vec![CrashPattern::None];
+    for crasher in 0..n {
+        for round in 1..=rounds {
+            // Every subset of the other processors may still be served.
+            let others: Vec<usize> = (0..n).filter(|&j| j != crasher).collect();
+            for mask in 0..(1u32 << others.len()) {
+                let recipients: Vec<usize> = others
+                    .iter()
+                    .enumerate()
+                    .filter(|&(k, _)| mask & (1 << k) != 0)
+                    .map(|(_, &j)| j)
+                    .collect();
+                patterns.push(CrashPattern::Crash(crasher, round, recipients));
+            }
+        }
+    }
+
+    let mut runs = Vec::new();
+    for inputs in 0..(1u64 << n) {
+        for pattern in &patterns {
+            runs.push(execute(n, rounds, horizon, inputs, pattern));
+        }
+    }
+    System::new(runs)
+}
+
+/// Deterministically executes one crash pattern.
+#[allow(clippy::needless_range_loop)] // index used for identity & seen[]
+fn execute(
+    n: usize,
+    rounds: usize,
+    horizon: u64,
+    inputs: u64,
+    pattern: &CrashPattern,
+) -> hm_runs::Run {
+    let name = match pattern {
+        CrashPattern::None => format!("v{inputs:0width$b}-clean", width = n),
+        CrashPattern::Crash(c, r, recips) => {
+            format!(
+                "v{inputs:0width$b}-c{c}r{r}s{}",
+                recips
+                    .iter()
+                    .map(|j| j.to_string())
+                    .collect::<String>(),
+                width = n
+            )
+        }
+    };
+    // seen[i] = bitmask of processors whose initial value i has seen.
+    let mut seen: Vec<u64> = (0..n).map(|i| 1 << i).collect();
+    let mut b = RunBuilder::new(name, n, horizon);
+    for i in 0..n {
+        let value = (inputs >> i) & 1;
+        b = b
+            .wake(AgentId::new(i), 0, value)
+            .perfect_clock(AgentId::new(i), 0);
+    }
+    let crashed = |i: usize, round: usize| -> bool {
+        matches!(pattern, CrashPattern::Crash(c, r, _) if *c == i && round > *r)
+    };
+    for round in 1..=rounds {
+        let t = round as u64;
+        // All sends of this round, based on `seen` at the round start.
+        let mut deliveries: Vec<(usize, usize, u64)> = Vec::new(); // (from, to, payload)
+        for i in 0..n {
+            if crashed(i, round) {
+                continue;
+            }
+            let payload = seen[i] | ((inputs & seen_mask(seen[i], n)) << n);
+            for j in 0..n {
+                if j == i {
+                    continue;
+                }
+                let delivered = match pattern {
+                    CrashPattern::Crash(c, r, recips) if *c == i && *r == round => {
+                        recips.contains(&j)
+                    }
+                    _ => true,
+                };
+                b = b.event(
+                    AgentId::new(i),
+                    t,
+                    Event::Send {
+                        to: AgentId::new(j),
+                        msg: Message::new(TAG_ROUND, payload),
+                    },
+                );
+                if delivered {
+                    deliveries.push((i, j, payload));
+                }
+            }
+        }
+        for (from, to, payload) in deliveries {
+            b = b.event(
+                AgentId::new(to),
+                t,
+                Event::Recv {
+                    from: AgentId::new(from),
+                    msg: Message::new(TAG_ROUND, payload),
+                },
+            );
+            seen[to] |= payload & ((1 << n) - 1);
+        }
+    }
+    // Decisions: every processor alive at decision time decides
+    // min(initial values among seen).
+    let decide_t = (rounds + 1) as u64;
+    for i in 0..n {
+        if crashed(i, rounds + 1) {
+            continue;
+        }
+        let value = decide_value(seen[i], inputs, n);
+        b = b.event(
+            AgentId::new(i),
+            decide_t,
+            Event::Act {
+                action: ACT_DECIDE,
+                data: value,
+            },
+        );
+    }
+    b.build()
+}
+
+fn seen_mask(seen: u64, n: usize) -> u64 {
+    seen & ((1 << n) - 1)
+}
+
+/// The decision rule: minimum initial value among the seen processors.
+fn decide_value(seen: u64, inputs: u64, n: usize) -> u64 {
+    (0..n)
+        .filter(|&j| seen & (1 << j) != 0)
+        .map(|j| (inputs >> j) & 1)
+        .min()
+        .expect("every processor has seen itself")
+}
+
+/// The decision of processor `i` in `run`, if it decided.
+pub fn decision_of(run: &hm_runs::Run, i: AgentId) -> Option<u64> {
+    run.proc(i).events.iter().find_map(|e| match e.event {
+        Event::Act { action, data } if action == ACT_DECIDE => Some(data),
+        _ => None,
+    })
+}
+
+/// Whether processor `i` crashed in `run` (detected as: it has no
+/// decision event).
+pub fn is_faulty(run: &hm_runs::Run, i: AgentId) -> bool {
+    decision_of(run, i).is_none()
+}
+
+/// Safety report over the whole system.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SafetyReport {
+    /// Runs where two nonfaulty processors decided differently.
+    pub agreement_violations: usize,
+    /// Runs where the decision was not some processor's initial value.
+    pub validity_violations: usize,
+    /// Runs checked.
+    pub runs: usize,
+}
+
+/// Checks agreement and validity across every run.
+pub fn check_safety(system: &System) -> SafetyReport {
+    let n = system.num_procs();
+    let mut report = SafetyReport::default();
+    for (_, run) in system.runs() {
+        report.runs += 1;
+        let decisions: Vec<u64> = (0..n)
+            .filter_map(|i| decision_of(run, AgentId::new(i)))
+            .collect();
+        if decisions.windows(2).any(|w| w[0] != w[1]) {
+            report.agreement_violations += 1;
+        }
+        let inputs: Vec<u64> = (0..n)
+            .map(|i| run.proc(AgentId::new(i)).initial_state)
+            .collect();
+        if decisions.iter().any(|d| !inputs.contains(d)) {
+            report.validity_violations += 1;
+        }
+    }
+    report
+}
+
+/// Interprets the agreement system with the facts `decided0` /
+/// `decided1` ("some processor has decided v in its history") and
+/// `min0` ("the minimum input is 0" — the clean-run decision value).
+pub fn agreement_interpreted(spec: AgreementSpec) -> InterpretedSystem {
+    let system = agreement_system(spec);
+    let n = spec.n;
+    InterpretedSystem::builder(system, CompleteHistory)
+        .fact("min0", move |run, _t| {
+            (0..n).any(|i| run.proc(AgentId::new(i)).initial_state == 0)
+        })
+        .fact("decided0", |run, t| {
+            run.procs.iter().any(|p| {
+                p.events.iter().any(|e| {
+                    e.time < t
+                        && matches!(
+                            e.event,
+                            Event::Act { action, data } if action == ACT_DECIDE && data == 0
+                        )
+                })
+            })
+        })
+        .build()
+}
+
+/// For the failure-free run with the given inputs, the first time at
+/// which the decision value (`min0` when some input is 0) is common
+/// knowledge among all processors.
+///
+/// # Panics
+///
+/// Panics if no clean run matches.
+///
+/// # Errors
+///
+/// Propagates [`EvalError`].
+pub fn ck_onset_in_clean_run(
+    isys: &InterpretedSystem,
+    inputs: u64,
+) -> Result<Option<u64>, EvalError> {
+    let n = isys.system().num_procs();
+    let (rid, run) = isys
+        .system()
+        .runs()
+        .find(|(_, r)| {
+            r.name.ends_with("-clean")
+                && (0..n).all(|i| r.proc(AgentId::new(i)).initial_state == (inputs >> i) & 1)
+        })
+        .expect("clean run exists for every input vector");
+    let g = AgentGroup::all(n);
+    let ck = isys.eval(&Formula::common(g, Formula::atom("min0")))?;
+    Ok((0..=run.horizon).find(|&t| ck.contains(isys.world(rid, t))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SPEC: AgreementSpec = AgreementSpec { n: 3, f: 1 };
+
+    #[test]
+    fn safety_across_all_crash_patterns() {
+        let system = agreement_system(SPEC);
+        // 2 rounds × 3 crashers × 4 subsets = 24 patterns + clean = 25,
+        // times 8 input vectors = 200 runs.
+        assert_eq!(system.num_runs(), 200);
+        let report = check_safety(&system);
+        assert_eq!(report.agreement_violations, 0, "agreement");
+        assert_eq!(report.validity_violations, 0, "validity");
+    }
+
+    #[test]
+    fn decisions_are_simultaneous() {
+        let system = agreement_system(SPEC);
+        for (_, run) in system.runs() {
+            let times: Vec<u64> = (0..3)
+                .filter_map(|i| {
+                    run.proc(AgentId::new(i)).events.iter().find_map(|e| {
+                        matches!(e.event, Event::Act { action, .. } if action == ACT_DECIDE)
+                            .then_some(e.time)
+                    })
+                })
+                .collect();
+            assert!(times.windows(2).all(|w| w[0] == w[1]), "{}", run.name);
+        }
+    }
+
+    #[test]
+    fn ck_of_decision_value_at_round_f_plus_1_not_before() {
+        let isys = agreement_interpreted(SPEC);
+        // Inputs 0b110: p0 holds 0, so min0; clean run.
+        let onset = ck_onset_in_clean_run(&isys, 0b110).unwrap();
+        // Round-2 messages land at t=2 and enter histories at t=3 — the
+        // end of round f+1 = 2. CK must hold there and not at the end of
+        // round 1 (t=2).
+        assert_eq!(onset, Some(3), "CK exactly at the end of round f+1");
+    }
+
+    #[test]
+    fn one_round_does_not_suffice() {
+        // The same check with the would-be 1-round protocol: evaluate CK
+        // at the end of round 1 (t=2) in the 2-round system — it fails,
+        // which is the knowledge-theoretic content of the f+1 lower
+        // bound.
+        let isys = agreement_interpreted(SPEC);
+        let n = 3;
+        let g = AgentGroup::all(n);
+        let ck = isys
+            .eval(&Formula::common(g, Formula::atom("min0")))
+            .unwrap();
+        let (rid, _) = isys
+            .system()
+            .runs()
+            .find(|(_, r)| r.name == "v110-clean")
+            .unwrap();
+        assert!(!ck.contains(isys.world(rid, 2)));
+    }
+
+    #[test]
+    fn crashed_processor_does_not_decide() {
+        let system = agreement_system(SPEC);
+        let (_, run) = system
+            .runs()
+            .find(|(_, r)| r.name.contains("-c0r1s") && !r.name.contains("s12"))
+            .unwrap();
+        assert!(is_faulty(run, AgentId::new(0)), "{}", run.name);
+        assert!(decision_of(run, AgentId::new(1)).is_some());
+    }
+
+    #[test]
+    fn decide_value_is_min_of_seen() {
+        assert_eq!(decide_value(0b111, 0b110, 3), 0);
+        assert_eq!(decide_value(0b110, 0b110, 3), 1);
+        assert_eq!(decide_value(0b001, 0b001, 3), 1);
+    }
+}

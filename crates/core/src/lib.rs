@@ -1,0 +1,31 @@
+//! The Halpern–Moses results as executable analyses.
+//!
+//! This crate is the reproduction's primary deliverable: every numbered
+//! claim and worked example of *Knowledge and Common Knowledge in a
+//! Distributed Environment* (JACM 1990) as a checkable computation over
+//! the substrates (`hm-kripke`, `hm-logic`, `hm-runs`, `hm-netsim`).
+//!
+//! | Module | Paper source |
+//! |---|---|
+//! | [`puzzles::muddy`] | Section 2 — the muddy children |
+//! | [`hierarchy`] | Section 3 — the `D ⊂ S ⊂ E ⊂ E^k ⊂ C` hierarchy |
+//! | [`puzzles::attack`] | Sections 4, 7 — coordinated attack, Prop. 4, Cor. 6 |
+//! | [`puzzles::r2d2`] | Section 8 — the ε-ladder |
+//! | [`attain`] | Section 8, App. B — Theorems 5/7/8, Props. 13/15 |
+//! | [`variants`] | Sections 11–12 — `C^ε`, `C^◇`, `C^T`, Thms. 9/11/12 |
+//! | [`consistency`] | Section 13 — internal knowledge consistency |
+//! | [`discovery`] | Section 3 — fact discovery and publication |
+//! | [`kbp`] | Section 14 / \[HF85\] — knowledge-based protocols |
+//! | [`agreement`] | Section 11 fn. 5 / \[DM90\] — simultaneous agreement |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod agreement;
+pub mod attain;
+pub mod consistency;
+pub mod discovery;
+pub mod hierarchy;
+pub mod kbp;
+pub mod puzzles;
+pub mod variants;

@@ -1,0 +1,7 @@
+//! The paper's puzzles and worked examples as executable analyses.
+
+pub mod attack;
+pub mod muddy;
+pub mod probabilistic;
+pub mod r2d2;
+pub mod wives;

@@ -1,0 +1,207 @@
+//! The R2–D2 ε-ladder (Section 8).
+//!
+//! R2 sends D2 a message `m` over a channel that takes `0` or `ε` time
+//! units. The paper shows that it "costs" ε time units to acquire each
+//! level of "R2 knows that D2 knows": `(K_R K_D)^k sent(m)` first holds at
+//! `t_S + kε` and `C sent(m)` never holds. Removing the uncertainty —
+//! delivery in exactly ε, or a global clock plus a timestamped message —
+//! makes `sent(m)` common knowledge at `t_S + ε`.
+//!
+//! One discretisation constant: in our runs an event enters a history at
+//! the tick *after* it occurs (Section 5's "up to but not including `t`"),
+//! so every knowledge onset carries a fixed `+1` comprehension offset; the
+//! paper's claim is about the *increments*, which are exactly ε.
+
+use hm_kripke::{AgentGroup, AgentId};
+use hm_logic::{EvalError, Formula, F};
+use hm_netsim::scenarios::{r2d2, R2d2, R2d2Mode};
+use hm_runs::{CompleteHistory, Event, InterpretedSystem, RunId};
+
+/// The interpreted R2–D2 system plus the scenario metadata.
+pub struct R2d2Analysis {
+    /// The interpreted system (fact `sent` = "m has been sent").
+    pub isys: InterpretedSystem,
+    /// Scenario metadata (focus runs, ε, `t_S`).
+    pub meta: R2d2,
+}
+
+/// Builds and interprets the R2–D2 system.
+///
+/// The fact `sent` is "R2 has sent `m`" (stable); `sent_focus` is "R2 has
+/// sent `m` at exactly `t_S`" (used in the timestamped variant, where
+/// message content distinguishes send times).
+pub fn r2d2_interpreted(eps: u64, pre: usize, post: usize, mode: R2d2Mode) -> R2d2Analysis {
+    let meta = r2d2(eps, pre, post, mode);
+    let ts = meta.ts;
+    let isys = InterpretedSystem::builder(meta.system.clone(), CompleteHistory)
+        .fact("sent", |run, t| {
+            run.proc(AgentId::new(0))
+                .events_before(t + 1)
+                .any(|e| matches!(e.event, Event::Send { .. }))
+        })
+        .fact("sent_focus", move |run, t| {
+            run.proc(AgentId::new(0))
+                .events_before(t + 1)
+                .any(|e| matches!(e.event, Event::Send { .. }) && e.time == ts)
+        })
+        .build();
+    R2d2Analysis { isys, meta }
+}
+
+/// The alternating ladder `(K_R K_D)^k φ` (`k = 0` is `φ` itself).
+pub fn rd_ladder(k: usize, fact: F) -> F {
+    let mut f = fact;
+    for _ in 0..k {
+        f = Formula::knows(AgentId::new(0), Formula::knows(AgentId::new(1), f));
+    }
+    f
+}
+
+/// First time at which `formula` holds in `run`, if any.
+///
+/// # Errors
+///
+/// Propagates [`EvalError`].
+pub fn first_time(
+    isys: &InterpretedSystem,
+    run: RunId,
+    formula: &F,
+) -> Result<Option<u64>, EvalError> {
+    let set = isys.eval(formula)?;
+    let horizon = isys.system().run(run).horizon;
+    Ok((0..=horizon).find(|&t| set.contains(isys.world(run, t))))
+}
+
+/// The onset times of the ladder levels `k = 0..=k_max` in the focus slow
+/// run: `onsets[k]` is the first time `(K_R K_D)^k sent` holds there.
+///
+/// # Errors
+///
+/// Propagates [`EvalError`].
+pub fn ladder_onsets(analysis: &R2d2Analysis, k_max: usize) -> Result<Vec<Option<u64>>, EvalError> {
+    let mut out = Vec::with_capacity(k_max + 1);
+    for k in 0..=k_max {
+        let f = rd_ladder(k, Formula::atom("sent"));
+        out.push(first_time(&analysis.isys, analysis.meta.focus_slow, &f)?);
+    }
+    Ok(out)
+}
+
+/// `C_{R2,D2} sent` as a world set.
+///
+/// # Errors
+///
+/// Propagates [`EvalError`].
+pub fn ck_sent(analysis: &R2d2Analysis) -> Result<hm_kripke::WorldSet, EvalError> {
+    analysis
+        .isys
+        .eval(&Formula::common(AgentGroup::all(2), Formula::atom("sent")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[allow(clippy::needless_range_loop)] // k is the ladder level
+    fn each_level_costs_exactly_eps() {
+        // Paper: (K_R K_D)^k sent first holds at t_S + kε (modulo the
+        // constant +1 comprehension offset of the discrete history
+        // convention). The increments must be exactly ε.
+        for eps in [2u64, 3] {
+            let analysis = r2d2_interpreted(eps, 4, 4, R2d2Mode::Uncertain);
+            let onsets = ladder_onsets(&analysis, 3).unwrap();
+            let ts = analysis.meta.ts;
+            assert_eq!(onsets[0], Some(ts), "level 0 = the fact itself");
+            for k in 1..=3usize {
+                let t = onsets[k].unwrap_or_else(|| panic!("level {k} never holds"));
+                assert_eq!(
+                    t,
+                    ts + k as u64 * eps + 1,
+                    "eps={eps} k={k}: onset at t_S + kε (+1 offset)"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn common_knowledge_never_attained_with_uncertainty() {
+        let (pre, post, eps) = (3usize, 3usize, 2u64);
+        let analysis = r2d2_interpreted(eps, pre, post, R2d2Mode::Uncertain);
+        let ck = ck_sent(&analysis).unwrap();
+        // The chain r_j ~R2 r'_j ~D2 r_{j+1} … always reaches a run whose
+        // send lies in the future, so C sent holds nowhere — as long as
+        // such a run exists, i.e. before the finite family's last send
+        // time (in the paper's infinite family there is always a later
+        // sender; past (pre+post)·ε our truncation makes `sent` valid and
+        // hence trivially common knowledge — a documented edge artifact).
+        let last_send = (pre + post) as u64 * eps;
+        for rid in [
+            analysis.meta.focus_slow,
+            analysis.meta.focus_fast.unwrap(),
+        ] {
+            for t in 0..last_send {
+                assert!(
+                    !ck.contains(analysis.isys.world(rid, t)),
+                    "C sent at ({rid}, {t})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exact_delay_attains_common_knowledge_at_ts_plus_eps() {
+        let analysis = r2d2_interpreted(3, 2, 2, R2d2Mode::Exact);
+        let ck = ck_sent(&analysis).unwrap();
+        let ts = analysis.meta.ts;
+        let eps = analysis.meta.eps;
+        let focus = analysis.meta.focus_slow;
+        let onset = first_time(
+            &analysis.isys,
+            focus,
+            &Formula::common(AgentGroup::all(2), Formula::atom("sent")),
+        )
+        .unwrap();
+        // Receipt at t_S + ε enters D2's history one tick later.
+        assert_eq!(onset, Some(ts + eps + 1));
+        assert!(!ck.contains(analysis.isys.world(focus, ts + eps)));
+    }
+
+    #[test]
+    fn timestamped_message_attains_common_knowledge() {
+        let analysis = r2d2_interpreted(3, 2, 2, R2d2Mode::Timestamped);
+        let ts = analysis.meta.ts;
+        let eps = analysis.meta.eps;
+        let f = Formula::common(AgentGroup::all(2), Formula::atom("sent_focus"));
+        let onset = first_time(&analysis.isys, analysis.meta.focus_slow, &f).unwrap();
+        assert_eq!(
+            onset,
+            Some(ts + eps + 1),
+            "C sent(m') at t_S + ε (+1 offset) despite delivery uncertainty"
+        );
+        // The fast focus run attains it at the same wall-clock time (the
+        // paper: R2 cannot tell which of r0/r1 occurred, but both have CK
+        // by t_S + ε).
+        let onset_fast =
+            first_time(&analysis.isys, analysis.meta.focus_fast.unwrap(), &f).unwrap();
+        assert_eq!(onset_fast, Some(ts + eps + 1));
+    }
+
+    #[test]
+    fn without_timestamp_uncertain_mode_has_no_ck_of_focus_either() {
+        let analysis = r2d2_interpreted(3, 2, 2, R2d2Mode::Uncertain);
+        let f = Formula::common(AgentGroup::all(2), Formula::atom("sent_focus"));
+        let set = analysis.isys.eval(&f).unwrap();
+        let focus = analysis.meta.focus_slow;
+        let horizon = analysis.isys.system().run(focus).horizon;
+        for t in 0..=horizon {
+            assert!(!set.contains(analysis.isys.world(focus, t)));
+        }
+    }
+
+    #[test]
+    fn ladder_formula_shape() {
+        let f = rd_ladder(2, Formula::atom("sent"));
+        assert_eq!(f.to_string(), "K0 K1 K0 K1 sent");
+    }
+}

@@ -1,0 +1,127 @@
+//! The cheating-husbands puzzle (\[MDH86\], referenced in Section 2).
+//!
+//! The paper introduces the muddy children as "a variant of the well
+//! known 'wise men' or 'cheating wives' puzzles"; this module runs the
+//! cheating-husbands formulation on the same Kripke model with a
+//! *different* knowledge-based rule: a wife acts (shoots, at midnight)
+//! only when she **knows her own husband is unfaithful** — positive
+//! knowledge only, unlike the children's "prove your state either way".
+//!
+//! With `k` unfaithful husbands and the queen's announcement, the first
+//! shots ring out on night `k`, fired by exactly the `k` wronged wives;
+//! without the announcement, the nights stay quiet forever.
+
+use crate::kbp::{KbpTrace, KnowledgeProtocol, KnowledgeRule, Turns};
+use crate::puzzles::muddy::MuddyChildren;
+use hm_kripke::{AgentId, Restriction, WorldSet};
+
+/// The cheating-husbands instance: the muddy-children model re-read as
+/// "bit `i` = wife `i`'s husband is unfaithful; each wife sees every
+/// marriage but her own".
+#[derive(Debug, Clone)]
+pub struct CheatingHusbands {
+    base: MuddyChildren,
+}
+
+impl CheatingHusbands {
+    /// Builds the `n`-wives instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is 0 or greater than 16 (model size `2^n`).
+    pub fn new(n: usize) -> Self {
+        CheatingHusbands {
+            base: MuddyChildren::new(n),
+        }
+    }
+
+    /// Number of wives.
+    pub fn n(&self) -> usize {
+        self.base.n()
+    }
+
+    /// The "shoot iff you know your husband is unfaithful" rule.
+    fn rule(&self) -> KnowledgeRule {
+        let unfaithful: Vec<WorldSet> = (0..self.n()).map(|i| self.base.muddy_set(i)).collect();
+        Box::new(move |r: &Restriction<'_>, i: AgentId| {
+            r.knowledge(i, &unfaithful[i.index()])
+        })
+    }
+
+    /// Runs `nights` nights at the actual infidelity mask, with the
+    /// queen's announcement ("at least one husband is unfaithful") first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `actual == 0` (the announcement would be false).
+    pub fn run_with_announcement(&self, actual: u64, nights: usize) -> KbpTrace {
+        assert!(actual != 0, "the queen's announcement requires k >= 1");
+        let protocol =
+            KnowledgeProtocol::new(self.base.model(), Turns::Simultaneous, self.rule());
+        protocol.run(self.base.world(actual), Some(&self.base.m_set()), nights)
+    }
+
+    /// Runs without the announcement (the nights stay quiet).
+    pub fn run_without_announcement(&self, actual: u64, nights: usize) -> KbpTrace {
+        let protocol =
+            KnowledgeProtocol::new(self.base.model(), Turns::Simultaneous, self.rule());
+        protocol.run(self.base.world(actual), None, nights)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shots_on_night_k_by_the_wronged_wives() {
+        for n in 1..=5usize {
+            let puzzle = CheatingHusbands::new(n);
+            for mask in 1..(1u64 << n) {
+                let k = mask.count_ones() as usize;
+                let trace = puzzle.run_with_announcement(mask, n + 2);
+                assert_eq!(
+                    trace.first_positive_round(),
+                    Some(k),
+                    "n={n} mask={mask:b}"
+                );
+                let wronged: Vec<usize> = (0..n).filter(|i| mask & (1 << i) != 0).collect();
+                assert_eq!(trace.positive_agents(k), wronged, "n={n} mask={mask:b}");
+            }
+        }
+    }
+
+    #[test]
+    fn faithful_wives_never_shoot() {
+        // Unlike the children (who eventually prove cleanliness and say
+        // "yes"), a wife with a faithful husband never acts: the rule is
+        // positive-knowledge only.
+        let puzzle = CheatingHusbands::new(4);
+        let trace = puzzle.run_with_announcement(0b0011, 8);
+        for round in &trace.actions {
+            assert_eq!(round[2], Some(false));
+            assert_eq!(round[3], Some(false));
+        }
+    }
+
+    #[test]
+    fn quiet_without_the_queen() {
+        let puzzle = CheatingHusbands::new(4);
+        for mask in 0..16u64 {
+            let trace = puzzle.run_without_announcement(mask, 8);
+            assert_eq!(trace.first_positive_round(), None, "mask={mask:b}");
+        }
+    }
+
+    #[test]
+    fn shooting_continues_once_known() {
+        // Knowledge is stable: from night k on, the wronged wives keep
+        // "acting" every night (the trace records the knowledge state;
+        // MDH86's one-shot semantics would stop after the execution).
+        let puzzle = CheatingHusbands::new(3);
+        let trace = puzzle.run_with_announcement(0b101, 5);
+        for night in 2..5 {
+            assert_eq!(trace.positive_agents(night + 1), vec![0, 2]);
+        }
+    }
+}

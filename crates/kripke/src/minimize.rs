@@ -1,0 +1,290 @@
+//! Bisimulation minimisation of S5 models.
+//!
+//! Two worlds are *epistemically bisimilar* if they satisfy the same
+//! atoms and every agent's accessibility from them reaches bisimilar
+//! worlds. On S5 models (partitions) the coarsest bisimulation is
+//! computed by the standard partition-refinement iteration: start from
+//! the atom-valuation partition and repeatedly split classes whose
+//! members see different *sets of classes* through some agent.
+//!
+//! Minimisation matters for the run systems of Sections 5–8: many points
+//! of an interpreted system are epistemically interchangeable (e.g. all
+//! quiet ticks between deliveries), and the quotient model evaluates any
+//! formula of the language to the same answers — which the property
+//! tests verify — while being much smaller.
+
+use crate::agent::AgentId;
+use crate::model::{KripkeModel, ModelBuilder};
+use crate::partition::Partition;
+use crate::world::WorldId;
+
+/// The result of minimising a model: the quotient model plus the mapping
+/// from old worlds to their bisimulation class (= new world id).
+#[derive(Debug, Clone)]
+pub struct Minimized {
+    /// The quotient model (one world per bisimulation class).
+    pub model: KripkeModel,
+    /// `class_of[w]` is the quotient world of old world `w`.
+    pub class_of: Vec<u32>,
+}
+
+impl Minimized {
+    /// The quotient world corresponding to an original world.
+    pub fn image(&self, w: WorldId) -> WorldId {
+        WorldId::new(self.class_of[w.index()] as usize)
+    }
+}
+
+/// Computes the coarsest epistemic bisimulation quotient of `model`.
+///
+/// The signature of a world under the current candidate partition `P` is
+/// `(atom valuation, for each agent: the set of P-classes its
+/// indistinguishability block meets)`; iterating the signature refinement
+/// reaches the coarsest fixed point in at most `|worlds|` rounds.
+///
+/// Every formula of the **`D`-free** static language (atoms, Booleans,
+/// `K_i`, `E_G`, `E^k_G`, `S_G`, `C_G`) has the same truth value at `w`
+/// and `image(w)` — see the tests. Distributed knowledge `D_G` is *not*
+/// bisimulation-invariant (a standard fact of epistemic logic: the joint
+/// view can separate worlds that no individual modality can), so `D_G`
+/// must be evaluated on the original model.
+pub fn minimize(model: &KripkeModel) -> Minimized {
+    let n = model.num_worlds();
+    // Initial partition: by atom valuation.
+    let mut current = Partition::from_key(n, |w| {
+        (0..model.num_atoms())
+            .map(|a| model.atom_holds(a.into(), w) as u64)
+            .collect::<Vec<u64>>()
+    });
+    loop {
+        let next = Partition::from_key(n, |w| signature(model, &current, w));
+        if next.num_blocks() == current.num_blocks() {
+            break;
+        }
+        current = next;
+    }
+    build_quotient(model, &current)
+}
+
+/// The refinement signature of world `w` under candidate partition `p`.
+fn signature(model: &KripkeModel, p: &Partition, w: WorldId) -> Vec<u64> {
+    let mut sig: Vec<u64> = vec![p.block_of(w) as u64];
+    for agent in 0..model.num_agents() {
+        let part = model.partition(AgentId::new(agent));
+        let mut seen: Vec<u64> = part
+            .block_members(part.block_of(w))
+            .map(|v| p.block_of(v) as u64)
+            .collect();
+        seen.sort_unstable();
+        seen.dedup();
+        sig.push(u64::MAX); // separator
+        sig.extend(seen);
+    }
+    sig
+}
+
+fn build_quotient(model: &KripkeModel, classes: &Partition) -> Minimized {
+    let n = model.num_worlds();
+    let k = classes.num_blocks();
+    // Representative (smallest world) per class, and the old→new map.
+    let mut class_of = vec![0u32; n];
+    let mut rep: Vec<WorldId> = Vec::with_capacity(k);
+    for b in 0..k {
+        let first = classes
+            .block_members(b)
+            .next()
+            .expect("blocks are non-empty");
+        rep.push(first);
+        for w in classes.block_members(b) {
+            class_of[w.index()] = b as u32;
+        }
+    }
+    let mut builder = ModelBuilder::new(model.num_agents());
+    for (b, r) in rep.iter().enumerate() {
+        builder.add_world(format!("[{}]{}", b, model.world_label(*r)));
+    }
+    for a in 0..model.num_atoms() {
+        let atom = builder.atom(model.atom_name(a.into()));
+        for (b, r) in rep.iter().enumerate() {
+            if model.atom_holds(a.into(), *r) {
+                builder.set_atom(atom, WorldId::new(b), true);
+            }
+        }
+    }
+    // Quotient accessibility: classes b, b' are i-indistinguishable iff
+    // some members are. For S5 models quotiented by a bisimulation this
+    // relation is itself an equivalence; build it by union–find over
+    // member blocks.
+    for agent in 0..model.num_agents() {
+        let part = model.partition(AgentId::new(agent));
+        let mut uf = crate::partition::UnionFind::new(k);
+        for block in part.blocks() {
+            let mut members = block.iter().map(|&w| class_of[w as usize] as usize);
+            if let Some(first) = members.next() {
+                for m in members {
+                    uf.union(first, m);
+                }
+            }
+        }
+        let quotient_part = Partition::from_key(k, |w| uf.find(w.index()));
+        builder.set_partition(AgentId::new(agent), quotient_part);
+    }
+    Minimized {
+        model: builder.build(),
+        class_of,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agent::AgentGroup;
+    use crate::generate::{random_model, RandomModelSpec};
+
+    #[test]
+    fn duplicate_worlds_collapse() {
+        // Two identical copies of a two-world model: minimises to 2.
+        let mut b = ModelBuilder::new(1);
+        for i in 0..4 {
+            b.add_world(format!("w{i}"));
+        }
+        let p = b.atom("p");
+        b.set_atom(p, WorldId::new(0), true);
+        b.set_atom(p, WorldId::new(2), true);
+        // Agent groups {0,1} and {2,3} — two indistinguishable copies.
+        b.set_partition_by_key(AgentId::new(0), |w| w.index() / 2);
+        let m = b.build();
+        let min = minimize(&m);
+        assert_eq!(min.model.num_worlds(), 2);
+        assert_eq!(min.image(WorldId::new(0)), min.image(WorldId::new(2)));
+        assert_ne!(min.image(WorldId::new(0)), min.image(WorldId::new(1)));
+    }
+
+    #[test]
+    fn distinguishable_worlds_survive() {
+        // A world separated by an atom cannot merge, nor can worlds with
+        // different epistemic horizons.
+        let mut b = ModelBuilder::new(2);
+        for i in 0..3 {
+            b.add_world(format!("w{i}"));
+        }
+        let p = b.atom("p");
+        b.set_atom(p, WorldId::new(0), true);
+        b.set_atom(p, WorldId::new(1), true);
+        // Agent 0 merges {w0,w1}, agent 1 merges {w1,w2}: a chain — all
+        // three worlds have distinct signatures (w0: sees p-only block;
+        // w2: ¬p; w1: between).
+        b.set_partition_by_key(AgentId::new(0), |w| w.index().min(1));
+        b.set_partition_by_key(AgentId::new(1), |w| w.index().max(1));
+        let m = b.build();
+        let min = minimize(&m);
+        assert_eq!(min.model.num_worlds(), 3, "chain is already minimal");
+    }
+
+    #[test]
+    fn knowledge_preserved_under_quotient() {
+        for seed in 0..30u64 {
+            let m = random_model(
+                seed,
+                RandomModelSpec {
+                    num_agents: 2 + (seed % 2) as usize,
+                    num_worlds: 6 + (seed % 18) as usize,
+                    num_atoms: 1,
+                    max_blocks: 3,
+                },
+            );
+            let min = minimize(&m);
+            let g = AgentGroup::all(m.num_agents());
+            // Compare K_i, E, D, C on the atom through the quotient map.
+            let fact_old = m.atom_set(0.into());
+            let fact_new = min.model.atom_set(0.into());
+            // D_G is deliberately absent: it is not bisimulation-
+            // invariant (see the module docs and the test below).
+            let pairs = [
+                (
+                    m.knowledge(AgentId::new(0), &fact_old),
+                    min.model.knowledge(AgentId::new(0), &fact_new),
+                ),
+                (
+                    m.everyone_knows(&g, &fact_old),
+                    min.model.everyone_knows(&g, &fact_new),
+                ),
+                (
+                    m.someone_knows(&g, &fact_old),
+                    min.model.someone_knows(&g, &fact_new),
+                ),
+                (
+                    m.everyone_knows_k(&g, &fact_old, 3),
+                    min.model.everyone_knows_k(&g, &fact_new, 3),
+                ),
+                (
+                    m.common_knowledge(&g, &fact_old),
+                    min.model.common_knowledge(&g, &fact_new),
+                ),
+            ];
+            for (w, (old_set, new_set)) in m
+                .worlds()
+                .flat_map(|w| pairs.iter().map(move |p| (w, p)))
+            {
+                assert_eq!(
+                    old_set.contains(w),
+                    new_set.contains(min.image(w)),
+                    "seed {seed} world {w}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn distributed_knowledge_is_not_bisimulation_invariant() {
+        // The documented counterexample shape: four worlds where agent 0
+        // sees the first bit and agent 1 the second; q0 holds on the
+        // diagonal. Individually both agents are blind to q0, so every
+        // world is bisimilar to every world with the same q0 value —
+        // but D(q0) = q0 on the original (the joint view is complete)
+        // while the quotient's joint view knows nothing.
+        let mut b = ModelBuilder::new(2);
+        for w in 0..4 {
+            b.add_world(format!("w{w}"));
+        }
+        let q = b.atom("q0");
+        b.set_atom(q, WorldId::new(0), true);
+        b.set_atom(q, WorldId::new(3), true);
+        b.set_partition_by_key(AgentId::new(0), |w| w.index() / 2);
+        b.set_partition_by_key(AgentId::new(1), |w| w.index() % 2);
+        let m = b.build();
+        let g = AgentGroup::all(2);
+        let fact = m.atom_set(0.into());
+        assert_eq!(m.distributed_knowledge(&g, &fact), fact);
+        let min = minimize(&m);
+        assert_eq!(min.model.num_worlds(), 2);
+        let fact_new = min.model.atom_set(0.into());
+        assert!(min
+            .model
+            .distributed_knowledge(&g, &fact_new)
+            .is_empty());
+    }
+
+    #[test]
+    fn minimize_is_idempotent() {
+        for seed in 0..10u64 {
+            let m = random_model(seed, RandomModelSpec::default());
+            let once = minimize(&m);
+            let twice = minimize(&once.model);
+            assert_eq!(
+                once.model.num_worlds(),
+                twice.model.num_worlds(),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn quotient_never_larger() {
+        for seed in 0..20u64 {
+            let m = random_model(seed, RandomModelSpec::default());
+            let min = minimize(&m);
+            assert!(min.model.num_worlds() <= m.num_worlds());
+        }
+    }
+}

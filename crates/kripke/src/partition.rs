@@ -1,0 +1,401 @@
+//! Partitions of the world set into indistinguishability classes.
+//!
+//! Under a view-based knowledge interpretation (Halpern–Moses Section 6),
+//! agent `i`'s accessibility relation is the *equivalence relation* "has the
+//! same view at both points". A [`Partition`] stores such a relation as its
+//! equivalence classes, which is both the natural S5 representation and the
+//! efficient one: the knowledge operator `K_i` is a per-block subset test.
+
+use crate::world::{WorldId, WorldSet};
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A partition of the worlds `0..n` into non-empty disjoint blocks.
+///
+/// Block ids are dense indices `0..num_blocks()`. The partition is the
+/// equivalence relation: `w ~ w'` iff `block_of(w) == block_of(w')`.
+///
+/// # Examples
+///
+/// ```
+/// use hm_kripke::{Partition, WorldId};
+/// // Partition worlds 0..4 by parity.
+/// let p = Partition::from_key(4, |w| w.index() % 2);
+/// assert_eq!(p.num_blocks(), 2);
+/// assert!(p.same_block(WorldId::new(0), WorldId::new(2)));
+/// assert!(!p.same_block(WorldId::new(0), WorldId::new(1)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// `block_of[w]` is the block containing world `w`.
+    block_of: Vec<u32>,
+    /// Members of each block, each list sorted ascending.
+    members: Vec<Vec<u32>>,
+}
+
+impl Partition {
+    /// The discrete partition: every world is its own block (an agent with
+    /// perfect information — the *complete-history* extreme).
+    pub fn discrete(n: usize) -> Self {
+        Partition {
+            block_of: (0..n as u32).collect(),
+            members: (0..n as u32).map(|w| vec![w]).collect(),
+        }
+    }
+
+    /// The trivial partition: one block containing every world (the single
+    /// view `Λ` of Section 6, under which the hierarchy collapses).
+    ///
+    /// For `n == 0` this is the empty partition with no blocks.
+    pub fn trivial(n: usize) -> Self {
+        if n == 0 {
+            return Partition {
+                block_of: vec![],
+                members: vec![],
+            };
+        }
+        Partition {
+            block_of: vec![0; n],
+            members: vec![(0..n as u32).collect()],
+        }
+    }
+
+    /// Builds a partition by grouping worlds with equal keys.
+    ///
+    /// This is the primary constructor: a view function `v(i, ·)` induces
+    /// agent `i`'s partition by `key = v(i, w)`.
+    pub fn from_key<K, F>(n: usize, mut key: F) -> Self
+    where
+        K: Hash + Eq,
+        F: FnMut(WorldId) -> K,
+    {
+        let mut block_ids: HashMap<K, u32> = HashMap::new();
+        let mut block_of = Vec::with_capacity(n);
+        let mut members: Vec<Vec<u32>> = Vec::new();
+        for w in 0..n {
+            let k = key(WorldId::new(w));
+            let next = members.len() as u32;
+            let b = *block_ids.entry(k).or_insert(next);
+            if b == next {
+                members.push(Vec::new());
+            }
+            block_of.push(b);
+            members[b as usize].push(w as u32);
+        }
+        Partition { block_of, members }
+    }
+
+    /// Builds a partition from explicit pairs, closing under reflexivity,
+    /// symmetry and transitivity (union–find closure).
+    ///
+    /// Useful when indistinguishability is given as an edge list, as in the
+    /// graph view of Section 6.
+    pub fn from_pairs<I: IntoIterator<Item = (WorldId, WorldId)>>(n: usize, pairs: I) -> Self {
+        let mut uf = UnionFind::new(n);
+        for (a, b) in pairs {
+            assert!(a.index() < n && b.index() < n, "world outside universe");
+            uf.union(a.index(), b.index());
+        }
+        Partition::from_key(n, |w| uf.find(w.index()))
+    }
+
+    /// Number of worlds partitioned.
+    pub fn num_worlds(&self) -> usize {
+        self.block_of.len()
+    }
+
+    /// Number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The block containing `w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is outside the universe.
+    #[inline]
+    pub fn block_of(&self, w: WorldId) -> usize {
+        self.block_of[w.index()] as usize
+    }
+
+    /// The members of block `b`, sorted ascending.
+    pub fn block_members(&self, b: usize) -> impl Iterator<Item = WorldId> + '_ {
+        self.members[b].iter().map(|&w| WorldId::new(w as usize))
+    }
+
+    /// `true` iff `a` and `b` are indistinguishable (same block).
+    #[inline]
+    pub fn same_block(&self, a: WorldId, b: WorldId) -> bool {
+        self.block_of[a.index()] == self.block_of[b.index()]
+    }
+
+    /// The *knowledge operator* of this partition:
+    /// `K(A) = { w : [w] ⊆ A }` — the worlds where the agent knows the
+    /// (set-denoted) fact `A`. This is clause (f) of Appendix A.
+    pub fn knowledge(&self, a: &WorldSet) -> WorldSet {
+        assert_eq!(a.universe_len(), self.num_worlds(), "universe mismatch");
+        let mut out = WorldSet::empty(self.num_worlds());
+        'blocks: for block in &self.members {
+            for &w in block {
+                if !a.contains(WorldId::new(w as usize)) {
+                    continue 'blocks;
+                }
+            }
+            for &w in block {
+                out.insert(WorldId::new(w as usize));
+            }
+        }
+        out
+    }
+
+    /// The dual *possibility operator*:
+    /// `P(A) = { w : [w] ∩ A ≠ ∅ }` — the worlds where the agent considers
+    /// `A` possible. Satisfies `P(A) = ¬K(¬A)`.
+    pub fn possibility(&self, a: &WorldSet) -> WorldSet {
+        assert_eq!(a.universe_len(), self.num_worlds(), "universe mismatch");
+        let mut touched = vec![false; self.members.len()];
+        for w in a.iter() {
+            touched[self.block_of(w)] = true;
+        }
+        let mut out = WorldSet::empty(self.num_worlds());
+        for (b, &t) in touched.iter().enumerate() {
+            if t {
+                for &w in &self.members[b] {
+                    out.insert(WorldId::new(w as usize));
+                }
+            }
+        }
+        out
+    }
+
+    /// The meet (coarsest common refinement) of two partitions: worlds are
+    /// equivalent iff equivalent under *both*.
+    ///
+    /// The joint view of a group (distributed knowledge, clause (g)) is the
+    /// meet of its members' partitions.
+    pub fn meet(&self, other: &Partition) -> Partition {
+        assert_eq!(self.num_worlds(), other.num_worlds(), "universe mismatch");
+        Partition::from_key(self.num_worlds(), |w| {
+            (self.block_of(w), other.block_of(w))
+        })
+    }
+
+    /// The join (finest common coarsening) of two partitions: the
+    /// equivalence closure of the union of the two relations.
+    ///
+    /// The join over a group G's partitions gives *G-reachability*, i.e. the
+    /// common-knowledge relation of Section 6.
+    pub fn join(&self, other: &Partition) -> Partition {
+        assert_eq!(self.num_worlds(), other.num_worlds(), "universe mismatch");
+        let n = self.num_worlds();
+        let mut uf = UnionFind::new(n);
+        for p in [self, other] {
+            for block in &p.members {
+                for pair in block.windows(2) {
+                    uf.union(pair[0] as usize, pair[1] as usize);
+                }
+            }
+        }
+        Partition::from_key(n, |w| uf.find(w.index()))
+    }
+
+    /// `true` iff `self` refines `other` (every block of `self` is contained
+    /// in a block of `other`): the agent with partition `self` has at least
+    /// as much information.
+    pub fn refines(&self, other: &Partition) -> bool {
+        assert_eq!(self.num_worlds(), other.num_worlds(), "universe mismatch");
+        self.members.iter().all(|block| {
+            let mut it = block.iter().map(|&w| other.block_of[w as usize]);
+            match it.next() {
+                None => true,
+                Some(first) => it.all(|b| b == first),
+            }
+        })
+    }
+
+    /// Restricts the partition to the sub-universe `keep`, re-indexing the
+    /// surviving worlds densely in increasing order of old id.
+    ///
+    /// This is the partition half of a public announcement (Section 2's
+    /// father): discarding the worlds where the announced fact fails.
+    pub fn restrict(&self, keep: &WorldSet) -> Partition {
+        assert_eq!(keep.universe_len(), self.num_worlds(), "universe mismatch");
+        let old_of_new: Vec<u32> = keep.iter().map(|w| w.index() as u32).collect();
+        Partition::from_key(old_of_new.len(), |new_w| {
+            self.block_of[old_of_new[new_w.index()] as usize]
+        })
+    }
+
+    /// Iterates over the blocks as sorted member slices.
+    pub fn blocks(&self) -> impl Iterator<Item = &[u32]> + '_ {
+        self.members.iter().map(|m| m.as_slice())
+    }
+}
+
+/// A classic union–find (disjoint-set) structure with path compression and
+/// union by size, used for equivalence closures and G-reachability.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    /// Representative of `x`'s set.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] as usize != root {
+            root = self.parent[root] as usize;
+        }
+        // Path compression.
+        let mut cur = x;
+        while self.parent[cur] as usize != root {
+            let next = self.parent[cur] as usize;
+            self.parent[cur] = root as u32;
+            cur = next;
+        }
+        root
+    }
+
+    /// Merges the sets of `a` and `b`. Returns `true` if they were distinct.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra as u32;
+        self.size[ra] += self.size[rb];
+        true
+    }
+
+    /// `true` iff `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ws(n: usize, ids: &[usize]) -> WorldSet {
+        WorldSet::from_iter_len(n, ids.iter().map(|&i| WorldId::new(i)))
+    }
+
+    #[test]
+    fn discrete_and_trivial() {
+        let d = Partition::discrete(5);
+        assert_eq!(d.num_blocks(), 5);
+        let t = Partition::trivial(5);
+        assert_eq!(t.num_blocks(), 1);
+        assert!(d.refines(&t));
+        assert!(!t.refines(&d));
+        assert!(d.refines(&d) && t.refines(&t), "refines is reflexive");
+    }
+
+    #[test]
+    fn trivial_empty_universe() {
+        let t = Partition::trivial(0);
+        assert_eq!(t.num_blocks(), 0);
+        assert_eq!(t.num_worlds(), 0);
+    }
+
+    #[test]
+    fn knowledge_operator_is_block_kernel() {
+        // Blocks by parity over 0..6: {0,2,4}, {1,3,5}.
+        let p = Partition::from_key(6, |w| w.index() % 2);
+        // A = {0,2,4,1}: even block fully inside, odd block not.
+        let a = ws(6, &[0, 1, 2, 4]);
+        assert_eq!(p.knowledge(&a), ws(6, &[0, 2, 4]));
+        // K(full) = full, K(empty) = empty.
+        assert_eq!(p.knowledge(&WorldSet::full(6)), WorldSet::full(6));
+        assert_eq!(p.knowledge(&WorldSet::empty(6)), WorldSet::empty(6));
+    }
+
+    #[test]
+    fn possibility_is_dual_of_knowledge() {
+        let p = Partition::from_key(8, |w| w.index() / 3);
+        let a = ws(8, &[1, 6]);
+        let lhs = p.possibility(&a);
+        let rhs = p.knowledge(&a.complement()).complement();
+        assert_eq!(lhs, rhs);
+        assert_eq!(lhs, ws(8, &[0, 1, 2, 6, 7]));
+    }
+
+    #[test]
+    fn knowledge_truth_axiom_setwise() {
+        // K(A) ⊆ A for any partition and set (the knowledge axiom A1).
+        let p = Partition::from_key(10, |w| w.index() % 3);
+        let a = ws(10, &[0, 3, 6, 9, 1, 2]);
+        assert!(p.knowledge(&a).is_subset(&a));
+    }
+
+    #[test]
+    fn meet_and_join() {
+        let by2 = Partition::from_key(12, |w| w.index() % 2);
+        let by3 = Partition::from_key(12, |w| w.index() % 3);
+        let m = by2.meet(&by3);
+        assert_eq!(m.num_blocks(), 6, "meet of mod-2 and mod-3 is mod-6");
+        assert!(m.refines(&by2) && m.refines(&by3));
+        let j = by2.join(&by3);
+        assert_eq!(j.num_blocks(), 1, "join of mod-2 and mod-3 connects all");
+        assert!(by2.refines(&j) && by3.refines(&j));
+    }
+
+    #[test]
+    fn join_with_discrete_is_identity() {
+        let p = Partition::from_key(9, |w| w.index() / 2);
+        let j = p.join(&Partition::discrete(9));
+        assert_eq!(j.num_blocks(), p.num_blocks());
+        assert!(p.refines(&j) && j.refines(&p));
+    }
+
+    #[test]
+    fn from_pairs_closure() {
+        // 0-1, 1-2 chain must close transitively.
+        let p = Partition::from_pairs(
+            5,
+            [(0, 1), (1, 2)].map(|(a, b)| (WorldId::new(a), WorldId::new(b))),
+        );
+        assert!(p.same_block(WorldId::new(0), WorldId::new(2)));
+        assert!(!p.same_block(WorldId::new(0), WorldId::new(3)));
+        assert_eq!(p.num_blocks(), 3);
+    }
+
+    #[test]
+    fn restrict_reindexes_densely() {
+        // Blocks {0,1},{2,3},{4,5}; keep {1,2,3,5}.
+        let p = Partition::from_key(6, |w| w.index() / 2);
+        let keep = ws(6, &[1, 2, 3, 5]);
+        let r = p.restrict(&keep);
+        assert_eq!(r.num_worlds(), 4);
+        // New ids: 1→0, 2→1, 3→2, 5→3. Blocks: {0}, {1,2}, {3}.
+        assert_eq!(r.num_blocks(), 3);
+        assert!(r.same_block(WorldId::new(1), WorldId::new(2)));
+        assert!(!r.same_block(WorldId::new(0), WorldId::new(1)));
+    }
+
+    #[test]
+    fn union_find_basics() {
+        let mut uf = UnionFind::new(4);
+        assert!(uf.union(0, 1));
+        assert!(!uf.union(1, 0), "already merged");
+        assert!(uf.connected(0, 1));
+        assert!(!uf.connected(0, 2));
+        uf.union(2, 3);
+        uf.union(0, 3);
+        assert!(uf.connected(1, 2));
+    }
+}

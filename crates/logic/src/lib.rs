@@ -1,0 +1,59 @@
+//! An epistemic µ-calculus model checker.
+//!
+//! This crate implements the logical language and semantics of Halpern &
+//! Moses, *Knowledge and Common Knowledge in a Distributed Environment*
+//! (JACM 1990): the group-knowledge operators of Section 3, the
+//! view-based Kripke semantics of Section 6, the attainable variants
+//! `C^ε`/`C^◇`/`C^T` of Sections 11–12, and — following Appendix A — a
+//! propositional logic of knowledge with explicit greatest/least fixed
+//! points, evaluated exactly over finite frames.
+//!
+//! - [`Formula`] is the AST; [`parse`] reads the textual syntax; `Display`
+//!   round-trips through the parser.
+//! - [`Frame`] abstracts the finite structures formulas are checked
+//!   against (Kripke models from `hm-kripke`; interpreted systems from
+//!   `hm-runs` add the [`TemporalStructure`] needed by `E^ε`, `E^◇`, `E^T`
+//!   and the run-temporal operators).
+//! - [`evaluate`]/[`holds_at`]/[`is_valid`] run the model checker.
+//! - [`axioms`] turns Proposition 1 (S5), the fixed-point axiom C1, the
+//!   induction rule C2, and Lemma 2 into executable checks.
+//!
+//! # Example: the coordinated-attack ladder
+//!
+//! ```
+//! use hm_logic::{parse, evaluate};
+//! use hm_kripke::{ModelBuilder, AgentId};
+//!
+//! // Tiny two-point system: in w0 the message arrived, in w1 it did not.
+//! // B (agent 1) can tell; A (agent 0) cannot.
+//! let mut b = ModelBuilder::new(2);
+//! let w0 = b.add_world("delivered");
+//! let w1 = b.add_world("lost");
+//! let d = b.atom("delivered");
+//! b.set_atom(d, w0, true);
+//! b.set_partition_by_key(AgentId::new(0), |_| ());
+//! let m = b.build();
+//!
+//! // B knows the message was delivered, A does not know that B knows.
+//! let kb = parse("K1 delivered")?;
+//! let kakb = parse("K0 K1 delivered")?;
+//! assert!(evaluate(&m, &kb)?.contains(w0));
+//! assert!(!evaluate(&m, &kakb)?.contains(w0));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod axioms;
+mod eval;
+mod formula;
+mod frame;
+pub mod temporal;
+
+mod parser;
+
+pub use eval::{evaluate, holds_at, is_valid, EvalError};
+pub use formula::{Formula, F};
+pub use frame::{Frame, TemporalStructure};
+pub use parser::{parse, ParseError};

@@ -1,0 +1,320 @@
+//! Delivery adversaries: the communication medium's nondeterminism.
+//!
+//! The paper's impossibility results quantify over the medium's choices —
+//! which messages are delivered and when. An [`Adversary`] enumerates, for
+//! each sent message, the possible delivery outcomes; the run enumerator
+//! explores every combination, producing the full system of runs. The
+//! stock adversaries correspond to the system classes of Sections 4, 8 and
+//! Appendix B.
+
+use hm_kripke::AgentId;
+use hm_runs::Message;
+
+/// A delivery outcome for one message: delivered at an absolute time, or
+/// never delivered within the horizon.
+///
+/// `Delivered(t)` with `t` equal to the send time models instantaneous
+/// delivery; `Lost` covers both genuine loss and delivery beyond the
+/// truncation horizon (indistinguishable inside the window).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Outcome {
+    /// Delivered at the given absolute time.
+    Delivered(u64),
+    /// Not delivered within the horizon.
+    Lost,
+}
+
+/// Enumerates possible delivery outcomes per message.
+pub trait Adversary {
+    /// The outcomes the medium may choose for the `send_index`-th message
+    /// of the execution, sent at `sent_at` from `from` to `to`. Outcomes
+    /// must satisfy `sent_at ≤ t ≤ horizon` for `Delivered(t)`.
+    ///
+    /// Returning an empty vector is an error (the executor panics): every
+    /// message needs at least one outcome, if only [`Outcome::Lost`].
+    fn outcomes(
+        &self,
+        send_index: usize,
+        sent_at: u64,
+        from: AgentId,
+        to: AgentId,
+        msg: &Message,
+        horizon: u64,
+    ) -> Vec<Outcome>;
+
+    /// Short name for run labels.
+    fn name(&self) -> &'static str {
+        "adversary"
+    }
+}
+
+/// Communication **not guaranteed** (NG1+NG2, Section 8): each message
+/// independently takes `delay` ticks or is lost — the coordinated-attack
+/// messenger who "takes one hour" but "may be captured" (Section 4).
+#[derive(Debug, Clone, Copy)]
+pub struct LossyFixedDelay {
+    /// Transit time of a delivered message.
+    pub delay: u64,
+}
+
+impl Adversary for LossyFixedDelay {
+    fn outcomes(
+        &self,
+        _send_index: usize,
+        sent_at: u64,
+        _from: AgentId,
+        _to: AgentId,
+        _msg: &Message,
+        horizon: u64,
+    ) -> Vec<Outcome> {
+        let mut out = Vec::with_capacity(2);
+        let t = sent_at + self.delay;
+        if t <= horizon {
+            out.push(Outcome::Delivered(t));
+        }
+        out.push(Outcome::Lost);
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "lossy-fixed"
+    }
+}
+
+/// Guaranteed delivery with **unbounded delivery time** (NG1′+NG2,
+/// Section 8 / \[FLP85\]-style asynchrony): any delay in `min_delay..`,
+/// truncated at the horizon; `Lost` stands for "delivered after the
+/// window".
+#[derive(Debug, Clone, Copy)]
+pub struct UnboundedDelay {
+    /// Minimum transit time (≥ 0).
+    pub min_delay: u64,
+}
+
+impl Adversary for UnboundedDelay {
+    fn outcomes(
+        &self,
+        _send_index: usize,
+        sent_at: u64,
+        _from: AgentId,
+        _to: AgentId,
+        _msg: &Message,
+        horizon: u64,
+    ) -> Vec<Outcome> {
+        let mut out: Vec<Outcome> = (sent_at + self.min_delay..=horizon)
+            .map(Outcome::Delivered)
+            .collect();
+        out.push(Outcome::Lost);
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "unbounded-delay"
+    }
+}
+
+/// Guaranteed delivery with **bounded but uncertain** transit time in
+/// `lo..=hi` (Appendix B's hypothesis for temporal imprecision, and the
+/// R2–D2 channel of Section 8 with `lo = 0, hi = ε`).
+///
+/// If even the earliest delivery would overshoot the horizon the message
+/// is `Lost` (beyond the window); otherwise all in-window choices are
+/// offered.
+#[derive(Debug, Clone, Copy)]
+pub struct BoundedUncertainDelay {
+    /// Earliest transit time.
+    pub lo: u64,
+    /// Latest transit time (inclusive).
+    pub hi: u64,
+}
+
+impl Adversary for BoundedUncertainDelay {
+    fn outcomes(
+        &self,
+        _send_index: usize,
+        sent_at: u64,
+        _from: AgentId,
+        _to: AgentId,
+        _msg: &Message,
+        horizon: u64,
+    ) -> Vec<Outcome> {
+        let lo = sent_at + self.lo;
+        let hi = sent_at + self.hi;
+        let mut out: Vec<Outcome> = (lo..=hi.min(horizon)).map(Outcome::Delivered).collect();
+        if out.is_empty() {
+            out.push(Outcome::Lost);
+        }
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "bounded-uncertain"
+    }
+}
+
+/// A perfectly **synchronous** channel: every message takes exactly
+/// `delay` ticks and is never lost (the "exactly ε" variant that makes
+/// `C sent(m)` attainable in Section 8).
+#[derive(Debug, Clone, Copy)]
+pub struct SynchronousDelay {
+    /// The fixed transit time.
+    pub delay: u64,
+}
+
+impl Adversary for SynchronousDelay {
+    fn outcomes(
+        &self,
+        _send_index: usize,
+        sent_at: u64,
+        _from: AgentId,
+        _to: AgentId,
+        _msg: &Message,
+        horizon: u64,
+    ) -> Vec<Outcome> {
+        let t = sent_at + self.delay;
+        if t <= horizon {
+            vec![Outcome::Delivered(t)]
+        } else {
+            vec![Outcome::Lost]
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "synchronous"
+    }
+}
+
+/// Instantaneous delivery or loss: "delivered within one time unit" in
+/// the granularity of our discrete clock — used by the Section 11
+/// OK-protocol example.
+#[derive(Debug, Clone, Copy)]
+pub struct InstantOrLost;
+
+impl Adversary for InstantOrLost {
+    fn outcomes(
+        &self,
+        _send_index: usize,
+        sent_at: u64,
+        _from: AgentId,
+        _to: AgentId,
+        _msg: &Message,
+        horizon: u64,
+    ) -> Vec<Outcome> {
+        let mut out = Vec::with_capacity(2);
+        if sent_at <= horizon {
+            out.push(Outcome::Delivered(sent_at));
+        }
+        out.push(Outcome::Lost);
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "instant-or-lost"
+    }
+}
+
+/// Like [`InstantOrLost`], but the medium can only lose messages sent at
+/// times `≤ lossy_until`; later messages are delivered instantly.
+///
+/// This models a finite *window of unreliability* and is how the
+/// Section 11 OK-protocol example survives truncation: in the paper's
+/// infinite runs every loss is eventually detected, whereas a loss in the
+/// last two ticks of a truncated run would never be noticed, spuriously
+/// breaking `ψ ⊃ E^ε ψ` (see DESIGN.md on truncation). Capping the lossy
+/// window at `horizon − 2` keeps every loss detectable in-window, which
+/// is the property the paper's argument actually uses.
+#[derive(Debug, Clone, Copy)]
+pub struct InstantOrLostWindow {
+    /// Last tick at which a send may be lost.
+    pub lossy_until: u64,
+}
+
+impl Adversary for InstantOrLostWindow {
+    fn outcomes(
+        &self,
+        _send_index: usize,
+        sent_at: u64,
+        _from: AgentId,
+        _to: AgentId,
+        _msg: &Message,
+        horizon: u64,
+    ) -> Vec<Outcome> {
+        let mut out = Vec::with_capacity(2);
+        if sent_at <= horizon {
+            out.push(Outcome::Delivered(sent_at));
+        }
+        if sent_at <= self.lossy_until || sent_at > horizon {
+            out.push(Outcome::Lost);
+        }
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "instant-or-lost-window"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn probe(adv: &dyn Adversary, sent_at: u64, horizon: u64) -> Vec<Outcome> {
+        adv.outcomes(
+            0,
+            sent_at,
+            AgentId::new(0),
+            AgentId::new(1),
+            &Message::tagged(1),
+            horizon,
+        )
+    }
+
+    #[test]
+    fn lossy_fixed() {
+        let a = LossyFixedDelay { delay: 1 };
+        assert_eq!(
+            probe(&a, 2, 5),
+            vec![Outcome::Delivered(3), Outcome::Lost]
+        );
+        // Beyond horizon: only loss.
+        assert_eq!(probe(&a, 5, 5), vec![Outcome::Lost]);
+    }
+
+    #[test]
+    fn unbounded() {
+        let a = UnboundedDelay { min_delay: 1 };
+        assert_eq!(
+            probe(&a, 1, 3),
+            vec![Outcome::Delivered(2), Outcome::Delivered(3), Outcome::Lost]
+        );
+    }
+
+    #[test]
+    fn bounded_uncertain() {
+        let a = BoundedUncertainDelay { lo: 0, hi: 2 };
+        assert_eq!(
+            probe(&a, 1, 5),
+            vec![
+                Outcome::Delivered(1),
+                Outcome::Delivered(2),
+                Outcome::Delivered(3)
+            ]
+        );
+        // Clipped by horizon.
+        assert_eq!(probe(&a, 5, 5), vec![Outcome::Delivered(5)]);
+        // Fully beyond: lost.
+        assert_eq!(probe(&a, 6, 5), vec![Outcome::Lost]);
+    }
+
+    #[test]
+    fn synchronous_and_instant() {
+        assert_eq!(
+            probe(&SynchronousDelay { delay: 2 }, 1, 5),
+            vec![Outcome::Delivered(3)]
+        );
+        assert_eq!(
+            probe(&InstantOrLost, 1, 5),
+            vec![Outcome::Delivered(1), Outcome::Lost]
+        );
+    }
+}

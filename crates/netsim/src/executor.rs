@@ -1,0 +1,485 @@
+//! Deterministic execution and exhaustive run enumeration.
+//!
+//! Given a deterministic [`JointProtocol`], a delivery [`Adversary`] and an
+//! execution specification, the enumerator produces **all** runs over the
+//! horizon — the finite system `R` that the paper's "for all runs r ∈ R"
+//! quantifications range over. Exhaustiveness (not sampling) is what makes
+//! the impossibility experiments proofs at their size.
+
+use crate::adversary::{Adversary, Outcome};
+use crate::protocol::{Command, JointProtocol, LocalView, SeenEvent};
+use hm_kripke::AgentId;
+use hm_runs::{Event, Run, RunBuilder, System, TimedEvent};
+use std::fmt;
+
+/// Clock endowment for an execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Clocks {
+    /// No processor has a clock (asynchronous knowledge of time).
+    None,
+    /// Processor `i` reads `t + offset[i]` at real time `t`: perfect rate,
+    /// possibly skewed phase. `Offset(vec![0; n])` is a global clock.
+    Offset(Vec<u64>),
+}
+
+impl Clocks {
+    fn reading(&self, i: usize, t: u64) -> Option<u64> {
+        match self {
+            Clocks::None => None,
+            Clocks::Offset(offs) => Some(t + offs[i]),
+        }
+    }
+}
+
+/// The fixed part of an execution: who runs, from when, with what initial
+/// states and clocks, for how long.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecutionSpec {
+    /// Number of processors.
+    pub num_procs: usize,
+    /// Largest time index (points `0..=horizon`).
+    pub horizon: u64,
+    /// Per-processor wake times.
+    pub wake_times: Vec<u64>,
+    /// Per-processor initial states.
+    pub initial_states: Vec<u64>,
+    /// Clock endowment.
+    pub clocks: Clocks,
+    /// Label prefix for run names (useful when combining configurations).
+    pub label: String,
+}
+
+impl ExecutionSpec {
+    /// A spec with all processors waking at 0 in state 0, no clocks.
+    pub fn simple(num_procs: usize, horizon: u64) -> Self {
+        ExecutionSpec {
+            num_procs,
+            horizon,
+            wake_times: vec![0; num_procs],
+            initial_states: vec![0; num_procs],
+            clocks: Clocks::None,
+            label: String::new(),
+        }
+    }
+
+    /// Replaces the initial states (builder style).
+    pub fn with_initial_states(mut self, states: Vec<u64>) -> Self {
+        assert_eq!(states.len(), self.num_procs);
+        self.initial_states = states;
+        self
+    }
+
+    /// Replaces the wake times (builder style).
+    pub fn with_wake_times(mut self, wakes: Vec<u64>) -> Self {
+        assert_eq!(wakes.len(), self.num_procs);
+        self.wake_times = wakes;
+        self
+    }
+
+    /// Replaces the clock endowment (builder style).
+    pub fn with_clocks(mut self, clocks: Clocks) -> Self {
+        if let Clocks::Offset(o) = &clocks {
+            assert_eq!(o.len(), self.num_procs);
+        }
+        self.clocks = clocks;
+        self
+    }
+
+    /// Sets the label prefix (builder style).
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+}
+
+/// Errors from enumeration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EnumerateError {
+    /// More runs than `max_runs` would be generated.
+    RunLimit(usize),
+}
+
+impl fmt::Display for EnumerateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EnumerateError::RunLimit(n) => write!(f, "run enumeration exceeded limit of {n}"),
+        }
+    }
+}
+
+impl std::error::Error for EnumerateError {}
+
+enum ExecOutcome {
+    Complete(Run),
+    NeedChoice { num_options: usize },
+}
+
+/// Executes the protocol under one fully-resolved adversary choice vector,
+/// or reports how many options the next unresolved choice has.
+fn execute(
+    protocol: &dyn JointProtocol,
+    adversary: &dyn Adversary,
+    spec: &ExecutionSpec,
+    choices: &[usize],
+) -> ExecOutcome {
+    let n = spec.num_procs;
+    let mut events: Vec<Vec<TimedEvent>> = vec![Vec::new(); n];
+    // (deliver_time, recipient, sender, msg, send_seq) — kept sorted by
+    // (deliver_time, send_seq) via insertion scan at delivery.
+    let mut pending: Vec<(u64, usize, usize, hm_runs::Message, usize)> = Vec::new();
+    let mut send_count = 0usize;
+    let mut outcome_labels: Vec<String> = Vec::new();
+
+    for t in 0..=spec.horizon {
+        // Deliver messages scheduled for t, in send order.
+        let mut due: Vec<_> = Vec::new();
+        pending.retain(|entry| {
+            if entry.0 == t {
+                due.push(*entry);
+                false
+            } else {
+                true
+            }
+        });
+        due.sort_by_key(|e| e.4);
+        for (_, to, from, msg, _) in due {
+            events[to].push(TimedEvent::new(
+                t,
+                Event::Recv {
+                    from: AgentId::new(from),
+                    msg,
+                },
+            ));
+        }
+        // Step each awake processor in id order.
+        for i in 0..n {
+            if t < spec.wake_times[i] {
+                continue;
+            }
+            let seen: Vec<SeenEvent> = events[i]
+                .iter()
+                .take_while(|e| e.time < t)
+                .map(|e| SeenEvent {
+                    event: e.event,
+                    clock: spec.clocks.reading(i, e.time),
+                })
+                .collect();
+            let view = LocalView {
+                me: AgentId::new(i),
+                num_procs: n,
+                initial_state: spec.initial_states[i],
+                clock: spec.clocks.reading(i, t),
+                events: &seen,
+            };
+            for cmd in protocol.step(&view) {
+                match cmd {
+                    Command::Act { action, data } => {
+                        events[i].push(TimedEvent::new(t, Event::Act { action, data }));
+                    }
+                    Command::Send { to, msg } => {
+                        events[i].push(TimedEvent::new(t, Event::Send { to, msg }));
+                        let options = adversary.outcomes(
+                            send_count,
+                            t,
+                            AgentId::new(i),
+                            to,
+                            &msg,
+                            spec.horizon,
+                        );
+                        assert!(
+                            !options.is_empty(),
+                            "adversary returned no outcomes for message {send_count}"
+                        );
+                        let Some(&pick) = choices.get(send_count) else {
+                            return ExecOutcome::NeedChoice {
+                                num_options: options.len(),
+                            };
+                        };
+                        match options[pick] {
+                            Outcome::Delivered(d) => {
+                                assert!(
+                                    d >= t && d <= spec.horizon,
+                                    "adversary chose out-of-range delivery {d}"
+                                );
+                                outcome_labels.push(format!("d{}", d - t));
+                                if d == t {
+                                    // Same-tick delivery: visible from t+1.
+                                    events[to.index()].push(TimedEvent::new(
+                                        t,
+                                        Event::Recv {
+                                            from: AgentId::new(i),
+                                            msg,
+                                        },
+                                    ));
+                                } else {
+                                    pending.push((d, to.index(), i, msg, send_count));
+                                }
+                            }
+                            Outcome::Lost => outcome_labels.push("x".into()),
+                        }
+                        send_count += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    // Materialise the run.
+    let name = if spec.label.is_empty() {
+        format!("{}[{}]", protocol.name(), outcome_labels.join(","))
+    } else {
+        format!(
+            "{}:{}[{}]",
+            spec.label,
+            protocol.name(),
+            outcome_labels.join(",")
+        )
+    };
+    let mut b = RunBuilder::new(name, n, spec.horizon);
+    for i in 0..n {
+        b = b.wake(AgentId::new(i), spec.wake_times[i], spec.initial_states[i]);
+        if let Clocks::Offset(offs) = &spec.clocks {
+            let readings = (0..=spec.horizon).map(|t| t + offs[i]).collect();
+            b = b.clock_readings(AgentId::new(i), readings);
+        }
+        for e in &events[i] {
+            b = b.event(AgentId::new(i), e.time, e.event);
+        }
+    }
+    ExecOutcome::Complete(b.build())
+}
+
+/// Enumerates **all** runs of `protocol` against `adversary` under `spec`.
+///
+/// # Errors
+///
+/// Returns [`EnumerateError::RunLimit`] if more than `max_runs` runs would
+/// be produced.
+pub fn enumerate_runs(
+    protocol: &dyn JointProtocol,
+    adversary: &dyn Adversary,
+    spec: &ExecutionSpec,
+    max_runs: usize,
+) -> Result<Vec<Run>, EnumerateError> {
+    let mut runs = Vec::new();
+    let mut stack: Vec<Vec<usize>> = vec![Vec::new()];
+    while let Some(choices) = stack.pop() {
+        match execute(protocol, adversary, spec, &choices) {
+            ExecOutcome::Complete(run) => {
+                runs.push(run);
+                if runs.len() > max_runs {
+                    return Err(EnumerateError::RunLimit(max_runs));
+                }
+            }
+            ExecOutcome::NeedChoice { num_options } => {
+                // Push in reverse so option 0 is explored first.
+                for o in (0..num_options).rev() {
+                    let mut next = choices.clone();
+                    next.push(o);
+                    stack.push(next);
+                }
+            }
+        }
+    }
+    // Canonical order: sort by name for reproducibility.
+    runs.sort_by(|a, b| a.name.cmp(&b.name));
+    Ok(runs)
+}
+
+/// Enumerates runs over several execution specs (e.g. all initial
+/// configurations) and combines them into one [`System`].
+///
+/// # Errors
+///
+/// Returns [`EnumerateError::RunLimit`] if the *total* number of runs
+/// exceeds `max_runs`.
+pub fn enumerate_system(
+    protocol: &dyn JointProtocol,
+    adversary: &dyn Adversary,
+    specs: &[ExecutionSpec],
+    max_runs: usize,
+) -> Result<System, EnumerateError> {
+    assert!(!specs.is_empty(), "need at least one execution spec");
+    let mut all = Vec::new();
+    for spec in specs {
+        let runs = enumerate_runs(protocol, adversary, spec, max_runs)?;
+        all.extend(runs);
+        if all.len() > max_runs {
+            return Err(EnumerateError::RunLimit(max_runs));
+        }
+    }
+    Ok(System::new(all))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::{LossyFixedDelay, SynchronousDelay};
+    use crate::protocol::{FnProtocol, Silent};
+    use hm_runs::Message;
+
+    /// p0 sends one message to p1 at its first step; nothing else.
+    fn one_shot() -> impl JointProtocol {
+        FnProtocol::new("oneshot", |v: &LocalView<'_>| {
+            if v.me.index() == 0 && v.sent().count() == 0 {
+                vec![Command::Send {
+                    to: AgentId::new(1),
+                    msg: Message::tagged(1),
+                }]
+            } else {
+                Vec::new()
+            }
+        })
+    }
+
+    #[test]
+    fn silent_protocol_yields_one_run() {
+        let runs = enumerate_runs(
+            &Silent,
+            &SynchronousDelay { delay: 1 },
+            &ExecutionSpec::simple(2, 3),
+            10,
+        )
+        .unwrap();
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].deliveries_before(4), 0);
+    }
+
+    #[test]
+    fn lossy_one_shot_yields_two_runs() {
+        let runs = enumerate_runs(
+            &one_shot(),
+            &LossyFixedDelay { delay: 1 },
+            &ExecutionSpec::simple(2, 3),
+            10,
+        )
+        .unwrap();
+        assert_eq!(runs.len(), 2, "delivered and lost");
+        let delivered = runs.iter().find(|r| r.deliveries_before(4) == 1).unwrap();
+        let lost = runs.iter().find(|r| r.deliveries_before(4) == 0).unwrap();
+        // Delivery happens exactly one tick after the send at t=0.
+        let recv = delivered.proc(AgentId::new(1)).events[0];
+        assert_eq!(recv.time, 1);
+        assert!(recv.event.is_recv());
+        assert!(lost.name.contains('x'));
+    }
+
+    #[test]
+    fn deterministic_and_sorted() {
+        let spec = ExecutionSpec::simple(2, 3);
+        let a = enumerate_runs(&one_shot(), &LossyFixedDelay { delay: 1 }, &spec, 10).unwrap();
+        let b = enumerate_runs(&one_shot(), &LossyFixedDelay { delay: 1 }, &spec, 10).unwrap();
+        assert_eq!(a, b);
+        let names: Vec<_> = a.iter().map(|r| r.name.clone()).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+    }
+
+    #[test]
+    fn run_limit_enforced() {
+        let err = enumerate_runs(
+            &one_shot(),
+            &LossyFixedDelay { delay: 1 },
+            &ExecutionSpec::simple(2, 3),
+            1,
+        )
+        .unwrap_err();
+        assert_eq!(err, EnumerateError::RunLimit(1));
+        assert!(err.to_string().contains("limit"));
+    }
+
+    #[test]
+    fn responder_chain_branches_per_message() {
+        // p0 sends; on receipt p1 replies once; on receipt of the reply
+        // nothing further. Lossy: runs = {lost}, {delivered, reply lost},
+        // {delivered, reply delivered} = 3 runs.
+        let pingpong = FnProtocol::new("pingpong", |v: &LocalView<'_>| {
+            let me = v.me.index();
+            if me == 0 && v.sent().count() == 0 {
+                return vec![Command::Send {
+                    to: AgentId::new(1),
+                    msg: Message::tagged(1),
+                }];
+            }
+            if me == 1 && v.has_received_tag(1) && v.sent().count() == 0 {
+                return vec![Command::Send {
+                    to: AgentId::new(0),
+                    msg: Message::tagged(2),
+                }];
+            }
+            Vec::new()
+        });
+        let runs = enumerate_runs(
+            &pingpong,
+            &LossyFixedDelay { delay: 1 },
+            &ExecutionSpec::simple(2, 4),
+            10,
+        )
+        .unwrap();
+        assert_eq!(runs.len(), 3);
+    }
+
+    #[test]
+    fn clocks_and_initial_states_propagate() {
+        let spec = ExecutionSpec::simple(2, 2)
+            .with_initial_states(vec![7, 8])
+            .with_clocks(Clocks::Offset(vec![0, 5]))
+            .with_label("cfg0");
+        let runs = enumerate_runs(&Silent, &SynchronousDelay { delay: 1 }, &spec, 10).unwrap();
+        let r = &runs[0];
+        assert!(r.name.starts_with("cfg0:"));
+        assert_eq!(r.proc(AgentId::new(0)).initial_state, 7);
+        assert_eq!(r.proc(AgentId::new(1)).clock_at(1), Some(6));
+    }
+
+    #[test]
+    fn enumerate_system_combines_configs() {
+        let specs = vec![
+            ExecutionSpec::simple(2, 2)
+                .with_initial_states(vec![0, 0])
+                .with_label("v0"),
+            ExecutionSpec::simple(2, 2)
+                .with_initial_states(vec![1, 0])
+                .with_label("v1"),
+        ];
+        let sys = enumerate_system(&Silent, &SynchronousDelay { delay: 1 }, &specs, 10).unwrap();
+        assert_eq!(sys.num_runs(), 2);
+    }
+
+    #[test]
+    fn protocol_sees_same_tick_delivery_only_next_tick() {
+        // p0 sends at t0 with instant delivery; p1 echoes an Act the tick
+        // *after* it sees the message — i.e. at t1, not t0.
+        let echo = FnProtocol::new("echo", |v: &LocalView<'_>| {
+            if v.me.index() == 0 && v.sent().count() == 0 {
+                return vec![Command::Send {
+                    to: AgentId::new(1),
+                    msg: Message::tagged(9),
+                }];
+            }
+            if v.me.index() == 1 && v.has_received_tag(9) && !v.has_acted(1) {
+                return vec![Command::Act { action: 1, data: 0 }];
+            }
+            Vec::new()
+        });
+        let runs = enumerate_runs(
+            &echo,
+            &crate::adversary::InstantOrLost,
+            &ExecutionSpec::simple(2, 3),
+            10,
+        )
+        .unwrap();
+        let delivered = runs
+            .iter()
+            .find(|r| r.deliveries_before(4) == 1)
+            .expect("delivered run");
+        let act = delivered
+            .proc(AgentId::new(1))
+            .events
+            .iter()
+            .find(|e| matches!(e.event, Event::Act { .. }))
+            .expect("act");
+        assert_eq!(act.time, 1, "recv at 0 enters history at 1");
+    }
+}

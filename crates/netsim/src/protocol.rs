@@ -1,0 +1,229 @@
+//! Deterministic protocols.
+//!
+//! Section 5 of Halpern–Moses defines a protocol as "a deterministic
+//! function specifying what messages the processor should send at any
+//! given instant, as a function of the processor's history". A
+//! [`JointProtocol`] is exactly that: at each tick every awake processor
+//! is shown its *local view* — initial state, clock reading, and past
+//! events (real times stripped, clock stamps kept) — and returns commands.
+//! Determinism and history-dependence are enforced structurally: the view
+//! simply contains nothing else.
+
+use hm_kripke::AgentId;
+use hm_runs::{Event, Message};
+
+/// A past event as a protocol sees it: the event plus the clock reading at
+/// its occurrence (if the processor has a clock). Real occurrence times
+/// are *not* visible — protocols are functions of the history only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeenEvent {
+    /// The event.
+    pub event: Event,
+    /// Clock stamp at occurrence, when a clock exists.
+    pub clock: Option<u64>,
+}
+
+/// What a processor can see when deciding its actions.
+#[derive(Debug, Clone)]
+pub struct LocalView<'a> {
+    /// This processor's identity (processors know who they are).
+    pub me: AgentId,
+    /// Number of processors in the system (community knowledge).
+    pub num_procs: usize,
+    /// The processor's initial state.
+    pub initial_state: u64,
+    /// Current clock reading, if the processor has a clock.
+    pub clock: Option<u64>,
+    /// Events observed so far (strictly before the current tick), oldest
+    /// first.
+    pub events: &'a [SeenEvent],
+}
+
+impl LocalView<'_> {
+    /// Messages received so far, oldest first.
+    pub fn received(&self) -> impl Iterator<Item = (AgentId, Message)> + '_ {
+        self.events.iter().filter_map(|e| match e.event {
+            Event::Recv { from, msg } => Some((from, msg)),
+            _ => None,
+        })
+    }
+
+    /// Messages sent so far, oldest first.
+    pub fn sent(&self) -> impl Iterator<Item = (AgentId, Message)> + '_ {
+        self.events.iter().filter_map(|e| match e.event {
+            Event::Send { to, msg } => Some((to, msg)),
+            _ => None,
+        })
+    }
+
+    /// Actions taken so far, oldest first.
+    pub fn acted(&self) -> impl Iterator<Item = (u32, u64)> + '_ {
+        self.events.iter().filter_map(|e| match e.event {
+            Event::Act { action, data } => Some((action, data)),
+            _ => None,
+        })
+    }
+
+    /// `true` if some received message has tag `tag`.
+    pub fn has_received_tag(&self, tag: u32) -> bool {
+        self.received().any(|(_, m)| m.tag == tag)
+    }
+
+    /// Count of received messages with tag `tag`.
+    pub fn count_received_tag(&self, tag: u32) -> usize {
+        self.received().filter(|(_, m)| m.tag == tag).count()
+    }
+
+    /// `true` if this processor already performed action `action`.
+    pub fn has_acted(&self, action: u32) -> bool {
+        self.acted().any(|(a, _)| a == action)
+    }
+}
+
+/// A command issued by a protocol at a tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Command {
+    /// Send `msg` to `to`.
+    Send {
+        /// Recipient.
+        to: AgentId,
+        /// Payload.
+        msg: Message,
+    },
+    /// Record a protocol-visible action (e.g. "attack", "decide").
+    Act {
+        /// Action code.
+        action: u32,
+        /// Action payload.
+        data: u64,
+    },
+}
+
+/// A deterministic joint protocol: one `step` function dispatching on
+/// `view.me` (equivalent to a tuple of per-processor protocols).
+pub trait JointProtocol {
+    /// Commands for the processor described by `view` at the current tick.
+    ///
+    /// Must be deterministic in `view` — the executor may replay steps.
+    fn step(&self, view: &LocalView<'_>) -> Vec<Command>;
+
+    /// Short name for run labels and diagnostics.
+    fn name(&self) -> &'static str {
+        "protocol"
+    }
+}
+
+/// The do-nothing protocol.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Silent;
+
+impl JointProtocol for Silent {
+    fn step(&self, _view: &LocalView<'_>) -> Vec<Command> {
+        Vec::new()
+    }
+
+    fn name(&self) -> &'static str {
+        "silent"
+    }
+}
+
+/// A joint protocol built from a closure (convenient in tests/examples).
+pub struct FnProtocol<F> {
+    name: &'static str,
+    f: F,
+}
+
+impl<F> FnProtocol<F>
+where
+    F: Fn(&LocalView<'_>) -> Vec<Command>,
+{
+    /// Wraps a closure as a protocol.
+    pub fn new(name: &'static str, f: F) -> Self {
+        FnProtocol { name, f }
+    }
+}
+
+impl<F> JointProtocol for FnProtocol<F>
+where
+    F: Fn(&LocalView<'_>) -> Vec<Command>,
+{
+    fn step(&self, view: &LocalView<'_>) -> Vec<Command> {
+        (self.f)(view)
+    }
+
+    fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+impl<F> std::fmt::Debug for FnProtocol<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "FnProtocol({})", self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn view_helpers() {
+        let events = vec![
+            SeenEvent {
+                event: Event::Send {
+                    to: AgentId::new(1),
+                    msg: Message::tagged(1),
+                },
+                clock: None,
+            },
+            SeenEvent {
+                event: Event::Recv {
+                    from: AgentId::new(1),
+                    msg: Message::tagged(2),
+                },
+                clock: Some(4),
+            },
+            SeenEvent {
+                event: Event::Act { action: 9, data: 1 },
+                clock: None,
+            },
+        ];
+        let v = LocalView {
+            me: AgentId::new(0),
+            num_procs: 2,
+            initial_state: 0,
+            clock: None,
+            events: &events,
+        };
+        assert_eq!(v.received().count(), 1);
+        assert_eq!(v.sent().count(), 1);
+        assert!(v.has_received_tag(2));
+        assert!(!v.has_received_tag(1));
+        assert_eq!(v.count_received_tag(2), 1);
+        assert!(v.has_acted(9));
+        assert!(!v.has_acted(8));
+    }
+
+    #[test]
+    fn silent_and_fn_protocols() {
+        let events = [];
+        let v = LocalView {
+            me: AgentId::new(0),
+            num_procs: 1,
+            initial_state: 0,
+            clock: None,
+            events: &events,
+        };
+        assert!(Silent.step(&v).is_empty());
+        assert_eq!(Silent.name(), "silent");
+        let p = FnProtocol::new("echo", |v: &LocalView<'_>| {
+            vec![Command::Act {
+                action: 1,
+                data: v.initial_state,
+            }]
+        });
+        assert_eq!(p.step(&v).len(), 1);
+        assert_eq!(p.name(), "echo");
+        assert!(format!("{p:?}").contains("echo"));
+    }
+}

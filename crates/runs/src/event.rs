@@ -1,0 +1,176 @@
+//! Messages and observable events.
+//!
+//! A processor's local history (Halpern–Moses Section 5) is its initial
+//! state followed by the sequence of messages it has sent and received —
+//! *not* the real times at which they happened, since real time is not
+//! observable. Events therefore carry a real-time stamp for the benefit of
+//! the run data structure, but view functions deliberately drop it (clock
+//! readings, when clocks exist, are what histories record).
+
+use hm_kripke::AgentId;
+use std::fmt;
+
+/// A message payload: a protocol-defined tag plus one word of data.
+///
+/// Keeping payloads as two integers makes histories cheap to intern;
+/// protocols give tags meaning (and names, via their own `Display`
+/// helpers).
+///
+/// # Examples
+///
+/// ```
+/// use hm_runs::Message;
+/// const ATTACK_AT_DAWN: u32 = 1;
+/// let m = Message::new(ATTACK_AT_DAWN, 0);
+/// assert_eq!(m.tag, ATTACK_AT_DAWN);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Message {
+    /// Protocol-defined message kind.
+    pub tag: u32,
+    /// One word of protocol-defined payload.
+    pub data: u64,
+}
+
+impl Message {
+    /// Creates a message.
+    pub fn new(tag: u32, data: u64) -> Self {
+        Message { tag, data }
+    }
+
+    /// A message with only a tag.
+    pub fn tagged(tag: u32) -> Self {
+        Message { tag, data: 0 }
+    }
+}
+
+impl fmt::Display for Message {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}:{}", self.tag, self.data)
+    }
+}
+
+/// An event observable by a single processor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Event {
+    /// This processor sent `msg` to `to`.
+    Send {
+        /// Recipient.
+        to: AgentId,
+        /// Payload.
+        msg: Message,
+    },
+    /// This processor received `msg` from `from`.
+    Recv {
+        /// Sender.
+        from: AgentId,
+        /// Payload.
+        msg: Message,
+    },
+    /// A protocol-visible internal action (e.g. "attack", "decide v"),
+    /// recorded in the history like a message.
+    Act {
+        /// Protocol-defined action code.
+        action: u32,
+        /// One word of action payload.
+        data: u64,
+    },
+}
+
+impl Event {
+    /// Canonical integer encoding for history interning. Injective over
+    /// the event space (discriminant, then fields).
+    pub fn encode(&self, out: &mut Vec<u64>) {
+        match *self {
+            Event::Send { to, msg } => {
+                out.push(0);
+                out.push(to.index() as u64);
+                out.push(msg.tag as u64);
+                out.push(msg.data);
+            }
+            Event::Recv { from, msg } => {
+                out.push(1);
+                out.push(from.index() as u64);
+                out.push(msg.tag as u64);
+                out.push(msg.data);
+            }
+            Event::Act { action, data } => {
+                out.push(2);
+                out.push(action as u64);
+                out.push(data);
+            }
+        }
+    }
+
+    /// `true` for receive events (used by the NG-condition checkers, which
+    /// count deliveries).
+    pub fn is_recv(&self) -> bool {
+        matches!(self, Event::Recv { .. })
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Event::Send { to, msg } => write!(f, "send({msg} -> {to})"),
+            Event::Recv { from, msg } => write!(f, "recv({msg} <- {from})"),
+            Event::Act { action, data } => write!(f, "act({action}:{data})"),
+        }
+    }
+}
+
+/// An event stamped with the real time at which it occurred (for the run
+/// record; views do not see this stamp).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TimedEvent {
+    /// Real time of occurrence (`0 ≤ time ≤ horizon`).
+    pub time: u64,
+    /// The event.
+    pub event: Event,
+}
+
+impl TimedEvent {
+    /// Creates a stamped event.
+    pub fn new(time: u64, event: Event) -> Self {
+        TimedEvent { time, event }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_is_injective_across_variants() {
+        let a = Event::Send {
+            to: AgentId::new(1),
+            msg: Message::new(2, 3),
+        };
+        let b = Event::Recv {
+            from: AgentId::new(1),
+            msg: Message::new(2, 3),
+        };
+        let c = Event::Act { action: 1, data: 2 };
+        let mut ea = vec![];
+        let mut eb = vec![];
+        let mut ec = vec![];
+        a.encode(&mut ea);
+        b.encode(&mut eb);
+        c.encode(&mut ec);
+        assert_ne!(ea, eb);
+        assert_ne!(eb, ec);
+        assert_ne!(ea, ec);
+    }
+
+    #[test]
+    fn recv_detection_and_display() {
+        let r = Event::Recv {
+            from: AgentId::new(0),
+            msg: Message::tagged(7),
+        };
+        assert!(r.is_recv());
+        assert!(!Event::Act { action: 0, data: 0 }.is_recv());
+        assert_eq!(r.to_string(), "recv(m7:0 <- p0)");
+        assert_eq!(Message::new(1, 2).to_string(), "m1:2");
+    }
+}

@@ -1,0 +1,32 @@
+//! The runs-and-systems model of distributed computation.
+//!
+//! Implements Sections 5–6 of Halpern & Moses, *Knowledge and Common
+//! Knowledge in a Distributed Environment* (JACM 1990): processors with
+//! local histories and optional clocks, [`Run`]s as complete executions,
+//! [`System`]s as sets of runs, [`ViewFunction`]s assigning views to
+//! points, and [`InterpretedSystem`]s — the triple `(R, π, v)` — which
+//! materialise the indistinguishability Kripke model and plug into the
+//! `hm-logic` model checker (including its temporal operators).
+//!
+//! The [`conditions`] module turns the structural hypotheses of the
+//! paper's impossibility theorems (NG1/NG2, NG1′, temporal imprecision)
+//! into decidable checks over finite systems.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod conditions;
+mod event;
+mod interpreted;
+mod run;
+mod system;
+mod view;
+
+pub use event::{Event, Message, TimedEvent};
+pub use interpreted::{FactFn, InterpretedSystem, InterpretedSystemBuilder};
+pub use run::{ProcRecord, Run, RunBuilder};
+pub use system::{Point, RunId, System};
+pub use view::{
+    complete_history_key, last_event_view, ClockOnly, CompleteHistory, SharedLambda,
+    StateProjection, ViewFunction,
+};

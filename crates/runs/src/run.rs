@@ -1,0 +1,361 @@
+//! Runs: complete executions of a distributed system.
+//!
+//! A [`Run`] records, for each processor, its wake-up time, initial state,
+//! clock readings and timed event sequence over a finite horizon — the
+//! discrete-time truncation of the paper's infinite runs (Section 5). The
+//! points of a run are the pairs `(r, t)` for `0 ≤ t ≤ horizon`.
+
+use crate::event::{Event, TimedEvent};
+use hm_kripke::AgentId;
+
+/// One processor's complete record within a run.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ProcRecord {
+    /// Real time at which the processor joins the system (`t_init`);
+    /// `None` if it never wakes during the horizon.
+    pub wake_time: Option<u64>,
+    /// The processor's initial local state.
+    pub initial_state: u64,
+    /// Clock readings per tick (`clock[t as usize]`, length `horizon+1`),
+    /// or `None` in clockless systems. Must be monotone nondecreasing.
+    pub clock: Option<Vec<u64>>,
+    /// Events observed by this processor, sorted by time (stable order
+    /// within a tick is the order of occurrence).
+    pub events: Vec<TimedEvent>,
+}
+
+impl ProcRecord {
+    /// Clock reading at real time `t`, if the processor is awake and has a
+    /// clock.
+    pub fn clock_at(&self, t: u64) -> Option<u64> {
+        match (self.wake_time, &self.clock) {
+            (Some(w), Some(c)) if t >= w => c.get(t as usize).copied(),
+            _ => None,
+        }
+    }
+
+    /// `true` if the processor is awake at time `t`.
+    pub fn awake_at(&self, t: u64) -> bool {
+        self.wake_time.is_some_and(|w| t >= w)
+    }
+
+    /// Events strictly before real time `t` (the history convention of
+    /// Section 5: messages sent/received *at* `t` are excluded).
+    pub fn events_before(&self, t: u64) -> impl Iterator<Item = &TimedEvent> {
+        self.events.iter().take_while(move |e| e.time < t)
+    }
+
+    /// Number of receive events strictly before `t`.
+    pub fn recvs_before(&self, t: u64) -> usize {
+        self.events_before(t).filter(|e| e.event.is_recv()).count()
+    }
+}
+
+/// A finite run: per-processor records over times `0..=horizon`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Run {
+    /// Human-readable name (e.g. the adversary schedule that produced it).
+    pub name: String,
+    /// Per-processor records, indexed by agent.
+    pub procs: Vec<ProcRecord>,
+    /// Largest time index; the run has points `0..=horizon`.
+    pub horizon: u64,
+}
+
+impl Run {
+    /// Number of points (`horizon + 1`).
+    pub fn num_points(&self) -> u64 {
+        self.horizon + 1
+    }
+
+    /// Number of processors.
+    pub fn num_procs(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// The record of processor `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn proc(&self, i: AgentId) -> &ProcRecord {
+        &self.procs[i.index()]
+    }
+
+    /// Total number of receive events strictly before `t`, over all
+    /// processors — the message-count `d(r)` in the proof of Theorem 5.
+    pub fn deliveries_before(&self, t: u64) -> usize {
+        self.procs.iter().map(|p| p.recvs_before(t)).sum()
+    }
+
+    /// `true` if no processor receives any message at any time `≥ from`.
+    pub fn silent_from(&self, from: u64) -> bool {
+        self.procs.iter().all(|p| {
+            p.events
+                .iter()
+                .all(|e| !(e.event.is_recv() && e.time >= from))
+        })
+    }
+
+    /// `true` if the two runs have the same initial configuration (wake
+    /// times and initial states) and the same clock readings — the
+    /// "twin" hypothesis of Theorems 5 and 7.
+    pub fn same_initial_config_and_clocks(&self, other: &Run) -> bool {
+        self.procs.len() == other.procs.len()
+            && self
+                .procs
+                .iter()
+                .zip(&other.procs)
+                .all(|(a, b)| {
+                    a.wake_time == b.wake_time
+                        && a.initial_state == b.initial_state
+                        && a.clock == b.clock
+                })
+    }
+}
+
+/// Builder for [`Run`] with validation (C-BUILDER).
+///
+/// # Examples
+///
+/// ```
+/// use hm_runs::{RunBuilder, Event, Message};
+/// use hm_kripke::AgentId;
+/// let run = RunBuilder::new("r0", 2, 3)
+///     .wake(AgentId::new(0), 0, 7)
+///     .wake(AgentId::new(1), 0, 7)
+///     .event(AgentId::new(0), 1, Event::Send { to: AgentId::new(1), msg: Message::tagged(1) })
+///     .event(AgentId::new(1), 2, Event::Recv { from: AgentId::new(0), msg: Message::tagged(1) })
+///     .build();
+/// assert_eq!(run.deliveries_before(3), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RunBuilder {
+    name: String,
+    horizon: u64,
+    procs: Vec<ProcRecord>,
+}
+
+impl RunBuilder {
+    /// Starts a run with `num_procs` processors, all initially asleep, over
+    /// times `0..=horizon`.
+    pub fn new(name: impl Into<String>, num_procs: usize, horizon: u64) -> Self {
+        RunBuilder {
+            name: name.into(),
+            horizon,
+            procs: vec![
+                ProcRecord {
+                    wake_time: None,
+                    initial_state: 0,
+                    clock: None,
+                    events: Vec::new(),
+                };
+                num_procs
+            ],
+        }
+    }
+
+    /// Wakes processor `i` at time `t` with the given initial state.
+    pub fn wake(mut self, i: AgentId, t: u64, initial_state: u64) -> Self {
+        let p = &mut self.procs[i.index()];
+        p.wake_time = Some(t);
+        p.initial_state = initial_state;
+        self
+    }
+
+    /// Gives processor `i` a perfect clock: reading `t + offset` at time
+    /// `t` (a convenient common case; use [`clock_readings`] for arbitrary
+    /// monotone clocks).
+    ///
+    /// [`clock_readings`]: Self::clock_readings
+    pub fn perfect_clock(mut self, i: AgentId, offset: u64) -> Self {
+        let readings = (0..=self.horizon).map(|t| t + offset).collect();
+        self.procs[i.index()].clock = Some(readings);
+        self
+    }
+
+    /// Sets processor `i`'s clock readings explicitly (`readings[t]` is the
+    /// reading at time `t`; length must be `horizon + 1`).
+    pub fn clock_readings(mut self, i: AgentId, readings: Vec<u64>) -> Self {
+        self.procs[i.index()].clock = Some(readings);
+        self
+    }
+
+    /// Records an event for processor `i` at time `t`.
+    pub fn event(mut self, i: AgentId, t: u64, event: Event) -> Self {
+        self.procs[i.index()].events.push(TimedEvent::new(t, event));
+        self
+    }
+
+    /// Finalises the run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any invariant fails: events out of `wake..=horizon`,
+    /// unsorted event times, non-monotone or wrongly-sized clocks, or an
+    /// event on a processor that never wakes.
+    pub fn build(mut self) -> Run {
+        for (i, p) in self.procs.iter_mut().enumerate() {
+            p.events.sort_by_key(|e| e.time);
+            if let Some(first) = p.events.first() {
+                let wake = p
+                    .wake_time
+                    .unwrap_or_else(|| panic!("proc {i} has events but never wakes"));
+                assert!(
+                    first.time >= wake,
+                    "proc {i}: event at {} before wake {}",
+                    first.time,
+                    wake
+                );
+            }
+            if let Some(last) = p.events.last() {
+                assert!(
+                    last.time <= self.horizon,
+                    "proc {i}: event at {} beyond horizon {}",
+                    last.time,
+                    self.horizon
+                );
+            }
+            if let Some(c) = &p.clock {
+                assert_eq!(
+                    c.len() as u64,
+                    self.horizon + 1,
+                    "proc {i}: clock has {} readings for horizon {}",
+                    c.len(),
+                    self.horizon
+                );
+                assert!(
+                    c.windows(2).all(|w| w[0] <= w[1]),
+                    "proc {i}: clock readings must be nondecreasing"
+                );
+            }
+            if let Some(w) = p.wake_time {
+                assert!(
+                    w <= self.horizon,
+                    "proc {i}: wake time {} beyond horizon {}",
+                    w,
+                    self.horizon
+                );
+            }
+        }
+        Run {
+            name: self.name,
+            procs: self.procs,
+            horizon: self.horizon,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Message;
+
+    fn a(i: usize) -> AgentId {
+        AgentId::new(i)
+    }
+
+    fn send(to: usize, tag: u32) -> Event {
+        Event::Send {
+            to: a(to),
+            msg: Message::tagged(tag),
+        }
+    }
+
+    fn recv(from: usize, tag: u32) -> Event {
+        Event::Recv {
+            from: a(from),
+            msg: Message::tagged(tag),
+        }
+    }
+
+    #[test]
+    fn builder_sorts_and_counts() {
+        let r = RunBuilder::new("r", 2, 5)
+            .wake(a(0), 0, 1)
+            .wake(a(1), 0, 2)
+            .event(a(1), 4, recv(0, 2))
+            .event(a(1), 2, recv(0, 1))
+            .event(a(0), 1, send(1, 1))
+            .event(a(0), 3, send(1, 2))
+            .build();
+        assert_eq!(r.num_points(), 6);
+        assert_eq!(r.proc(a(1)).events[0].time, 2, "events sorted");
+        assert_eq!(r.deliveries_before(3), 1);
+        assert_eq!(r.deliveries_before(5), 2);
+        assert!(!r.silent_from(4));
+        assert!(r.silent_from(5));
+    }
+
+    #[test]
+    fn events_before_excludes_current_tick() {
+        let r = RunBuilder::new("r", 1, 3)
+            .wake(a(0), 0, 0)
+            .event(a(0), 2, send(0, 1))
+            .build();
+        assert_eq!(r.proc(a(0)).events_before(2).count(), 0);
+        assert_eq!(r.proc(a(0)).events_before(3).count(), 1);
+    }
+
+    #[test]
+    fn clock_accessors() {
+        let r = RunBuilder::new("r", 1, 3)
+            .wake(a(0), 1, 0)
+            .clock_readings(a(0), vec![5, 5, 6, 8])
+            .build();
+        let p = r.proc(a(0));
+        assert_eq!(p.clock_at(0), None, "asleep: no reading");
+        assert_eq!(p.clock_at(2), Some(6));
+        assert!(!p.awake_at(0));
+        assert!(p.awake_at(1));
+    }
+
+    #[test]
+    fn twin_condition() {
+        let r1 = RunBuilder::new("a", 2, 2)
+            .wake(a(0), 0, 3)
+            .wake(a(1), 1, 4)
+            .build();
+        let r2 = RunBuilder::new("b", 2, 2)
+            .wake(a(0), 0, 3)
+            .wake(a(1), 1, 4)
+            .event(a(0), 1, send(1, 9))
+            .build();
+        assert!(r1.same_initial_config_and_clocks(&r2), "events don't matter");
+        let r3 = RunBuilder::new("c", 2, 2).wake(a(0), 0, 3).build();
+        assert!(!r1.same_initial_config_and_clocks(&r3));
+    }
+
+    #[test]
+    #[should_panic(expected = "before wake")]
+    fn event_before_wake_panics() {
+        RunBuilder::new("r", 1, 3)
+            .wake(a(0), 2, 0)
+            .event(a(0), 1, send(0, 1))
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond horizon")]
+    fn event_beyond_horizon_panics() {
+        RunBuilder::new("r", 1, 3)
+            .wake(a(0), 0, 0)
+            .event(a(0), 4, send(0, 1))
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "nondecreasing")]
+    fn decreasing_clock_panics() {
+        RunBuilder::new("r", 1, 2)
+            .wake(a(0), 0, 0)
+            .clock_readings(a(0), vec![3, 2, 4])
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "never wakes")]
+    fn event_without_wake_panics() {
+        RunBuilder::new("r", 1, 2).event(a(0), 1, send(0, 1)).build();
+    }
+}

@@ -1,0 +1,181 @@
+//! Systems: sets of runs.
+//!
+//! "We identify a distributed system with such a set R of its possible
+//! runs" (Halpern–Moses Section 5). A [`System`] is a finite, canonically
+//! ordered collection of [`Run`]s over the same processors; its *points*
+//! are pairs `(run, t)`.
+
+use crate::run::Run;
+use std::fmt;
+
+/// Identifier of a run within a system (dense index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct RunId(pub u32);
+
+impl RunId {
+    /// Dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<usize> for RunId {
+    fn from(i: usize) -> Self {
+        RunId(u32::try_from(i).expect("run index exceeds u32::MAX"))
+    }
+}
+
+impl fmt::Display for RunId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A point `(r, t)` of a system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Point {
+    /// The run.
+    pub run: RunId,
+    /// The time, `0 ≤ t ≤ horizon(run)`.
+    pub time: u64,
+}
+
+impl Point {
+    /// Creates a point.
+    pub fn new(run: RunId, time: u64) -> Self {
+        Point { run, time }
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})", self.run, self.time)
+    }
+}
+
+/// A finite set of runs over a common processor set.
+///
+/// # Examples
+///
+/// ```
+/// use hm_runs::{System, RunBuilder};
+/// use hm_kripke::AgentId;
+/// let r0 = RunBuilder::new("quiet", 2, 3)
+///     .wake(AgentId::new(0), 0, 0)
+///     .wake(AgentId::new(1), 0, 0)
+///     .build();
+/// let sys = System::new(vec![r0]);
+/// assert_eq!(sys.num_points(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct System {
+    runs: Vec<Run>,
+    num_procs: usize,
+}
+
+impl System {
+    /// Builds a system from runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `runs` is empty or the runs disagree on the number of
+    /// processors.
+    pub fn new(runs: Vec<Run>) -> Self {
+        assert!(!runs.is_empty(), "a system needs at least one run");
+        let num_procs = runs[0].num_procs();
+        for r in &runs {
+            assert_eq!(
+                r.num_procs(),
+                num_procs,
+                "run `{}` has {} processors, expected {num_procs}",
+                r.name,
+                r.num_procs()
+            );
+        }
+        System { runs, num_procs }
+    }
+
+    /// Number of runs.
+    pub fn num_runs(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Number of processors.
+    pub fn num_procs(&self) -> usize {
+        self.num_procs
+    }
+
+    /// Total number of points across runs.
+    pub fn num_points(&self) -> usize {
+        self.runs.iter().map(|r| r.num_points() as usize).sum()
+    }
+
+    /// The run with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn run(&self, id: RunId) -> &Run {
+        &self.runs[id.index()]
+    }
+
+    /// Looks up a run by name (linear scan).
+    pub fn run_by_name(&self, name: &str) -> Option<RunId> {
+        self.runs
+            .iter()
+            .position(|r| r.name == name)
+            .map(RunId::from)
+    }
+
+    /// Iterates over `(id, run)` pairs.
+    pub fn runs(&self) -> impl Iterator<Item = (RunId, &Run)> {
+        self.runs.iter().enumerate().map(|(i, r)| (RunId::from(i), r))
+    }
+
+    /// Iterates over all points in canonical order (runs in order, times
+    /// ascending).
+    pub fn points(&self) -> impl Iterator<Item = Point> + '_ {
+        self.runs().flat_map(|(id, r)| {
+            (0..=r.horizon).map(move |t| Point::new(id, t))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run::RunBuilder;
+    use hm_kripke::AgentId;
+
+    fn quiet(name: &str, procs: usize, horizon: u64) -> Run {
+        let mut b = RunBuilder::new(name, procs, horizon);
+        for i in 0..procs {
+            b = b.wake(AgentId::new(i), 0, 0);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn accessors() {
+        let sys = System::new(vec![quiet("a", 2, 2), quiet("b", 2, 4)]);
+        assert_eq!(sys.num_runs(), 2);
+        assert_eq!(sys.num_procs(), 2);
+        assert_eq!(sys.num_points(), 3 + 5);
+        assert_eq!(sys.run_by_name("b"), Some(RunId(1)));
+        assert_eq!(sys.run_by_name("zz"), None);
+        assert_eq!(sys.points().count(), 8);
+        assert_eq!(format!("{}", Point::new(RunId(1), 3)), "(r1,3)");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one run")]
+    fn empty_system_panics() {
+        System::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "processors")]
+    fn mismatched_procs_panics() {
+        System::new(vec![quiet("a", 2, 2), quiet("b", 3, 2)]);
+    }
+}

@@ -1,0 +1,87 @@
+//! Ad-hoc epistemic queries against the built-in scenarios.
+//!
+//! Usage:
+//! ```text
+//! cargo run --example epistemic_query -- <scenario> "<formula>"
+//! ```
+//! Scenarios: `muddy4` (4 muddy children), `generals` (handshake,
+//! horizon 8), `r2d2` (uncertain channel, ε = 2).
+//!
+//! Formula syntax (see `hm-logic`): atoms, `! & | -> <->`,
+//! `K0 K1 … E{0,1} E^2{0,1} S{..} D{..} C{..}`,
+//! `Eeps[2]{0,1} Ceps[2]{0,1} Eev{..} Cev{..} ET[5]{..} CT[5]{..}`,
+//! `next even alw once`, `nu X. … $X`, `mu X. …`.
+//!
+//! Examples:
+//! ```text
+//! cargo run --example epistemic_query -- muddy4 "E{0,1,2,3} m & !E^2{0,1,2,3} m"
+//! cargo run --example epistemic_query -- generals "K1 dispatched & !K0 K1 dispatched"
+//! cargo run --example epistemic_query -- r2d2 "Ceps[2]{0,1} sent"
+//! ```
+
+use halpern_moses::core::puzzles::attack::generals_interpreted;
+use halpern_moses::core::puzzles::muddy::MuddyChildren;
+use halpern_moses::core::puzzles::r2d2::r2d2_interpreted;
+use halpern_moses::logic::{evaluate, parse};
+use halpern_moses::netsim::scenarios::R2d2Mode;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let scenario = args.next().unwrap_or_else(|| "muddy4".into());
+    let src = args
+        .next()
+        .unwrap_or_else(|| "E{0,1,2,3} m & !E^2{0,1,2,3} m".into());
+    let formula = parse(&src)?;
+    println!("scenario: {scenario}");
+    println!("formula:  {formula}");
+
+    match scenario.as_str() {
+        "muddy4" => {
+            let p = MuddyChildren::new(4);
+            let holds = evaluate(p.model(), &formula)?;
+            println!(
+                "holds at {}/{} worlds:",
+                holds.count(),
+                p.model().num_worlds()
+            );
+            for w in holds.iter() {
+                println!("  {}", p.model().world_label(w));
+            }
+        }
+        "generals" => {
+            let isys = generals_interpreted(8)?;
+            let holds = isys.eval(&formula)?;
+            println!(
+                "holds at {}/{} points:",
+                holds.count(),
+                isys.model().num_worlds()
+            );
+            for w in holds.iter().take(40) {
+                println!("  {}", isys.model().world_label(w));
+            }
+            if holds.count() > 40 {
+                println!("  … ({} more)", holds.count() - 40);
+            }
+        }
+        "r2d2" => {
+            let analysis = r2d2_interpreted(2, 3, 3, R2d2Mode::Uncertain);
+            let holds = analysis.isys.eval(&formula)?;
+            println!(
+                "holds at {}/{} points:",
+                holds.count(),
+                analysis.isys.model().num_worlds()
+            );
+            for w in holds.iter().take(40) {
+                println!("  {}", analysis.isys.model().world_label(w));
+            }
+            if holds.count() > 40 {
+                println!("  … ({} more)", holds.count() - 40);
+            }
+        }
+        other => {
+            eprintln!("unknown scenario `{other}` (use muddy4 | generals | r2d2)");
+            std::process::exit(2);
+        }
+    }
+    Ok(())
+}

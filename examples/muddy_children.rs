@@ -1,0 +1,61 @@
+//! The muddy children puzzle, round by round (Section 2 of the paper).
+//!
+//! Usage: `cargo run --example muddy_children -- [n] [muddy-mask]`
+//! (defaults: n = 5, mask = 0b10110).
+//!
+//! Prints the knowledge ladder before the announcement, then the rounds
+//! with and without the father's statement, reproducing experiment E1.
+
+use halpern_moses::core::puzzles::muddy::MuddyChildren;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args
+        .next()
+        .map(|s| s.parse().expect("n must be a number"))
+        .unwrap_or(5);
+    let mask: u64 = args
+        .next()
+        .map(|s| {
+            u64::from_str_radix(s.trim_start_matches("0b"), 2).expect("mask must be binary")
+        })
+        .unwrap_or(0b10110 & ((1 << n) - 1));
+    assert!(mask != 0 && mask < (1 << n), "mask must be non-zero, < 2^n");
+
+    let k = mask.count_ones();
+    let puzzle = MuddyChildren::new(n);
+    println!("n = {n} children, muddy mask = {mask:0n$b} (k = {k})\n");
+
+    println!(
+        "Before the father speaks: E^j m holds for j <= {} (paper: k-1 = {})",
+        puzzle.e_level_before_announcement(mask, n + 1),
+        k - 1
+    );
+
+    println!("\n== with the father's announcement ==");
+    let trace = puzzle.run_with_announcement(mask);
+    print_rounds(&trace.answers);
+    println!(
+        "first yes: round {:?}  (paper: round k = {k})",
+        trace.first_yes_round()
+    );
+    println!(
+        "who: {:?}  (paper: exactly the muddy children)",
+        trace.yes_children(k as usize)
+    );
+
+    println!("\n== without the announcement ==");
+    let trace = puzzle.run_without_announcement(mask);
+    print_rounds(&trace.answers);
+    println!(
+        "first yes: {:?}  (paper: never)",
+        trace.first_yes_round()
+    );
+}
+
+fn print_rounds(answers: &[Vec<bool>]) {
+    for (q, round) in answers.iter().enumerate() {
+        let line: String = round.iter().map(|&a| if a { 'Y' } else { '.' }).collect();
+        println!("  round {:>2}: {line}", q + 1);
+    }
+}

@@ -1,0 +1,33 @@
+//! Quickstart: the muddy children in ten lines, then a free-form query.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use halpern_moses::core::puzzles::muddy::MuddyChildren;
+use halpern_moses::logic::{evaluate, parse};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Three children; children 0 and 2 are muddy (mask 0b101).
+    let puzzle = MuddyChildren::new(3);
+    let trace = puzzle.run_with_announcement(0b101);
+
+    println!("muddy children, n = 3, muddy = {{0, 2}}");
+    for (q, round) in trace.answers.iter().enumerate() {
+        let answers: Vec<&str> = round.iter().map(|&a| if a { "yes" } else { "no" }).collect();
+        println!("  question {}: {}", q + 1, answers.join(", "));
+    }
+    println!(
+        "first yes at round {:?} (paper: round k = 2)",
+        trace.first_yes_round()
+    );
+
+    // The same model answers arbitrary epistemic queries.
+    let model = puzzle.model();
+    let f = parse("E{0,1,2} m & !E^2{0,1,2} m")?;
+    let holds = evaluate(model, &f)?;
+    println!(
+        "\"everyone knows m but not everyone knows that\" holds at {} of {} worlds",
+        holds.count(),
+        model.num_worlds()
+    );
+    Ok(())
+}

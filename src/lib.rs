@@ -1,0 +1,37 @@
+//! Facade crate for the Halpern–Moses reproduction.
+//!
+//! Re-exports the workspace crates under stable names. See the README for
+//! an overview, `DESIGN.md` for the system inventory, and `EXPERIMENTS.md`
+//! for the paper-vs-measured record.
+//!
+//! - [`kripke`]: finite S5 Kripke models (worlds, partitions, bitsets,
+//!   public announcements).
+//! - [`logic`]: the epistemic µ-calculus (formulas, parser, fixed-point
+//!   model checker, axiom checkers).
+//! - [`runs`]: the runs-and-systems model of Section 5 and view-based
+//!   interpretations of Section 6.
+//! - [`netsim`]: deterministic protocol simulator with exhaustive
+//!   adversarial run enumeration.
+//! - [`core`]: the paper's results as executable analyses — the knowledge
+//!   hierarchy, attainability theorems, common-knowledge variants,
+//!   puzzles and agreement protocols.
+//!
+//! # Quick start
+//!
+//! ```
+//! use halpern_moses::core::puzzles::muddy::MuddyChildren;
+//!
+//! // Three children, two muddy: nobody can answer until round 2.
+//! let puzzle = MuddyChildren::new(3);
+//! let trace = puzzle.run_with_announcement(0b011);
+//! assert_eq!(trace.first_yes_round(), Some(2));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use hm_core as core;
+pub use hm_kripke as kripke;
+pub use hm_logic as logic;
+pub use hm_netsim as netsim;
+pub use hm_runs as runs;

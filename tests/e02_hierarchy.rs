@@ -1,0 +1,121 @@
+//! Experiment E2: the hierarchy of states of group knowledge (Section 3).
+//!
+//! Paper claims:
+//! 1. `Cφ ⊃ … ⊃ E^{k+1}φ ⊃ E^kφ ⊃ … ⊃ Eφ ⊃ Sφ ⊃ Dφ ⊃ φ` is valid in
+//!    every system.
+//! 2. In a message-passing system the hierarchy is strict — every two
+//!    adjacent levels are separated by some situation.
+//! 3. With a common memory (one shared view) the knowledge levels
+//!    collapse: `Cφ ≡ E^kφ ≡ Eφ ≡ Sφ ≡ Dφ`.
+
+use halpern_moses::core::hierarchy::{hierarchy, Level};
+use halpern_moses::core::puzzles::muddy::MuddyChildren;
+use halpern_moses::kripke::{
+    random_model, AgentGroup, AgentId, ModelBuilder, Partition, RandomModelSpec,
+};
+use halpern_moses::logic::Frame;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn inclusions_valid_on_arbitrary_models(seed in 0u64..10_000) {
+        let m = random_model(seed, RandomModelSpec {
+            num_agents: 2 + (seed % 3) as usize,
+            num_worlds: 4 + (seed % 24) as usize,
+            num_atoms: 1,
+            max_blocks: 5,
+        });
+        let g = AgentGroup::all(m.num_agents());
+        let fact = Frame::atom_set(&m, "q0").unwrap();
+        let h = hierarchy(&m, &g, &fact, 4);
+        prop_assert!(h.inclusions_hold());
+    }
+}
+
+#[test]
+fn every_adjacent_pair_separated_by_some_situation() {
+    // φ vs D: a hidden coin (nobody's view includes it).
+    // D vs S: the split secret (x vs y).
+    // S vs E and E^k vs E^{k+1} and E^k vs C: the muddy children.
+    // Each separation is realised by an explicit witness world.
+
+    // hidden coin
+    let mut b = ModelBuilder::new(2);
+    for w in 0..4u64 {
+        b.add_world(format!("{w:02b}"));
+    }
+    let coin = b.atom("coin");
+    b.set_atom(coin, 2.into(), true);
+    b.set_atom(coin, 3.into(), true);
+    // Both agents see only bit 0, not the coin bit.
+    for i in 0..2 {
+        b.set_partition_by_key(AgentId::new(i), |w| w.index() & 1);
+    }
+    let m = b.build();
+    let g = AgentGroup::all(2);
+    let h = hierarchy(&m, &g, &Frame::atom_set(&m, "coin").unwrap(), 1);
+    assert!(h.strictness_witnesses()[0].is_some(), "φ above D");
+
+    // split secret: agent 0 sees x, agent 1 sees y; fact x == y.
+    let mut b = ModelBuilder::new(2);
+    for (x, y) in [(0, 0), (0, 1), (1, 0), (1, 1)] {
+        b.add_world(format!("x{x}y{y}"));
+    }
+    let eq = b.atom("eq");
+    b.set_atom(eq, 0.into(), true);
+    b.set_atom(eq, 3.into(), true);
+    b.set_partition_by_key(AgentId::new(0), |w| w.index() / 2);
+    b.set_partition_by_key(AgentId::new(1), |w| w.index() % 2);
+    let m = b.build();
+    let h = hierarchy(&m, &g, &Frame::atom_set(&m, "eq").unwrap(), 1);
+    assert!(h.strictness_witnesses()[1].is_some(), "D above S");
+
+    // muddy children: S/E/E^k/C separations.
+    let p = MuddyChildren::new(6);
+    let h = hierarchy(p.model(), &p.group(), &p.m_set(), 5);
+    let w = h.strictness_witnesses();
+    // Levels: φ, D, S, E, E^2..E^5, C → pairs: (φ,D),(D,S),(S,E),(E,E^2)…
+    for (i, witness) in w.iter().enumerate().skip(2) {
+        assert!(witness.is_some(), "level pair {i} not separated");
+    }
+}
+
+#[test]
+fn common_memory_collapses_knowledge_levels() {
+    for blocks in 1..=4usize {
+        let n_worlds = 12;
+        let mut b = ModelBuilder::new(3);
+        for w in 0..n_worlds {
+            b.add_world(format!("w{w}"));
+        }
+        let q = b.atom("q");
+        for w in (0..n_worlds).step_by(2) {
+            b.set_atom(q, w.into(), true);
+        }
+        let shared = Partition::from_key(n_worlds, |w| w.index() % blocks);
+        for i in 0..3 {
+            b.set_partition(AgentId::new(i), shared.clone());
+        }
+        let m = b.build();
+        let g = AgentGroup::all(3);
+        let h = hierarchy(&m, &g, &Frame::atom_set(&m, "q").unwrap(), 4);
+        assert!(h.knowledge_levels_collapsed(), "blocks={blocks}");
+    }
+}
+
+#[test]
+fn level_names_render() {
+    let names: Vec<String> = [
+        Level::Fact,
+        Level::Distributed,
+        Level::Someone,
+        Level::EveryoneK(1),
+        Level::EveryoneK(2),
+        Level::Common,
+    ]
+    .iter()
+    .map(|l| l.to_string())
+    .collect();
+    assert_eq!(names, vec!["phi", "D", "S", "E", "E^2", "C"]);
+}

@@ -1,0 +1,151 @@
+//! Experiment E16: the spectrum of view-based interpretations
+//! (paper Section 6).
+//!
+//! - The single-view `Λ` interpretation collapses the hierarchy: every
+//!   system-valid fact is common knowledge.
+//! - A bounded "local state" view can forget; the complete-history view
+//!   never does (`K_i φ ⊃ □ K_i once(φ)` is valid under complete
+//!   history).
+//! - The complete-history interpretation is the finest: it yields at
+//!   least as much knowledge as any other view.
+
+use halpern_moses::kripke::{AgentGroup, AgentId};
+use halpern_moses::logic::{Formula, Frame};
+use halpern_moses::runs::{
+    last_event_view, CompleteHistory, Event, InterpretedSystem, Message, RunBuilder, SharedLambda,
+    System,
+};
+
+fn a(i: usize) -> AgentId {
+    AgentId::new(i)
+}
+
+fn msg_runs() -> Vec<halpern_moses::runs::Run> {
+    let msg = Message::tagged(1);
+    // Two sends of the same message vs one send vs none.
+    let mut runs = vec![
+        RunBuilder::new("twice", 2, 4)
+            .wake(a(0), 0, 0)
+            .wake(a(1), 0, 0)
+            .event(a(0), 1, Event::Send { to: a(1), msg })
+            .event(a(0), 2, Event::Send { to: a(1), msg })
+            .build(),
+    ];
+    runs.push(
+        RunBuilder::new("once", 2, 4)
+            .wake(a(0), 0, 0)
+            .wake(a(1), 0, 0)
+            .event(a(0), 1, Event::Send { to: a(1), msg })
+            .build(),
+    );
+    runs.push(
+        RunBuilder::new("never", 2, 4)
+            .wake(a(0), 0, 0)
+            .wake(a(1), 0, 0)
+            .build(),
+    );
+    runs
+}
+
+fn facts(b: halpern_moses::runs::InterpretedSystemBuilder) -> InterpretedSystem {
+    b.fact("sent_twice", |run, t| {
+        run.proc(a(0))
+            .events_before(t + 1)
+            .filter(|e| matches!(e.event, Event::Send { .. }))
+            .count()
+            >= 2
+    })
+    .fact("sent", |run, t| {
+        run.proc(a(0))
+            .events_before(t + 1)
+            .any(|e| matches!(e.event, Event::Send { .. }))
+    })
+    .build()
+}
+
+#[test]
+fn lambda_view_collapses_everything_valid_to_common_knowledge() {
+    let isys = facts(InterpretedSystem::builder(
+        System::new(msg_runs()),
+        SharedLambda,
+    ));
+    let g = AgentGroup::all(2);
+    // `sent -> sent` is valid, so it is common knowledge under Λ.
+    let f = Formula::common(
+        g.clone(),
+        Formula::implies(Formula::atom("sent"), Formula::atom("sent")),
+    );
+    assert!(isys.valid(&f).unwrap());
+    // And nothing contingent is even known: K_0 sent fails everywhere.
+    let k = Formula::knows(a(0), Formula::atom("sent"));
+    assert!(isys.eval(&k).unwrap().is_empty());
+}
+
+#[test]
+fn complete_history_never_forgets() {
+    let isys = facts(InterpretedSystem::builder(
+        System::new(msg_runs()),
+        CompleteHistory,
+    ));
+    // K0 sent ⊃ □ K0 once(sent) — once known, the sender knows it ever
+    // after (complete histories only grow).
+    let f = Formula::implies(
+        Formula::knows(a(0), Formula::atom("sent")),
+        Formula::always(Formula::knows(a(0), Formula::once(Formula::atom("sent")))),
+    );
+    assert!(isys.valid(&f).unwrap());
+}
+
+#[test]
+fn last_event_view_forgets_the_count() {
+    let full = facts(InterpretedSystem::builder(
+        System::new(msg_runs()),
+        CompleteHistory,
+    ));
+    let forgetful = facts(InterpretedSystem::builder(
+        System::new(msg_runs()),
+        last_event_view(),
+    ));
+    let k_twice = Formula::knows(a(0), Formula::atom("sent_twice"));
+    // Under complete history the sender knows it sent twice…
+    let twice_run = full.system().run_by_name("twice").unwrap();
+    assert!(full.holds(&k_twice, twice_run, 3).unwrap());
+    // …under the last-event view it cannot tell two sends from one.
+    let twice_run = forgetful.system().run_by_name("twice").unwrap();
+    assert!(!forgetful.holds(&k_twice, twice_run, 3).unwrap());
+}
+
+#[test]
+fn complete_history_knows_at_least_as_much_as_any_view() {
+    // For every atom and agent: knowledge under a coarser view is a
+    // subset of knowledge under complete history.
+    let full = facts(InterpretedSystem::builder(
+        System::new(msg_runs()),
+        CompleteHistory,
+    ));
+    for coarse in [
+        facts(InterpretedSystem::builder(
+            System::new(msg_runs()),
+            SharedLambda,
+        )),
+        facts(InterpretedSystem::builder(
+            System::new(msg_runs()),
+            last_event_view(),
+        )),
+    ] {
+        for atom in ["sent", "sent_twice"] {
+            let set_full = Frame::atom_set(&full, atom).unwrap();
+            let set_coarse = Frame::atom_set(&coarse, atom).unwrap();
+            assert_eq!(set_full, set_coarse, "same facts, same worlds");
+            for i in 0..2 {
+                let k_coarse = Frame::knowledge_set(&coarse, a(i), &set_coarse);
+                let k_full = Frame::knowledge_set(&full, a(i), &set_full);
+                assert!(
+                    k_coarse.is_subset(&k_full),
+                    "view {} atom {atom} agent {i}",
+                    coarse.view_name()
+                );
+            }
+        }
+    }
+}
