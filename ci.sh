@@ -1,0 +1,13 @@
+#!/bin/sh
+# CI for the halpern-moses workspace. Fully offline: the workspace has
+# no external dependencies, so an empty registry cache is fine.
+set -eux
+
+export CARGO_NET_OFFLINE=true
+
+cargo fmt --all --check
+cargo clippy --workspace --all-targets -- -D warnings
+
+# Tier-1 verify (must match ROADMAP.md).
+cargo build --release
+cargo test -q

@@ -12,7 +12,9 @@ use hm_core::kbp::{knows_own_state_rule, KnowledgeProtocol, Turns};
 use hm_core::puzzles::attack::{generals_interpreted, ladder_depth_at_end};
 use hm_core::puzzles::muddy::MuddyChildren;
 use hm_core::puzzles::r2d2::{ladder_onsets, r2d2_interpreted};
-use hm_core::variants::{check_theorem9, conjunction_gap, ok_interpreted, skewed_broadcast_interpreted};
+use hm_core::variants::{
+    check_theorem9, conjunction_gap, ok_interpreted, skewed_broadcast_interpreted,
+};
 use hm_kripke::{random_model, AgentGroup, AgentId, RandomModelSpec, WorldSet};
 use hm_logic::axioms::{check_s5, sample_sets, ModalOp};
 use hm_logic::{Formula, Frame};

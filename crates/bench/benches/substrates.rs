@@ -2,7 +2,9 @@
 //! knowledge kernels, reachability, and run enumeration scaling.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use hm_kripke::{random_model, AgentGroup, AgentId, Partition, RandomModelSpec, SplitMix64, WorldId, WorldSet};
+use hm_kripke::{
+    random_model, AgentGroup, AgentId, Partition, RandomModelSpec, SplitMix64, WorldId, WorldSet,
+};
 use hm_netsim::{enumerate_runs, Command, ExecutionSpec, FnProtocol, LocalView, LossyFixedDelay};
 use hm_runs::Message;
 use std::hint::black_box;

@@ -74,7 +74,10 @@ fn g2() -> AgentGroup {
 
 fn e1() {
     println!("muddy children: first all-yes round vs k (paper: round k)");
-    println!("n\\k {}", (1..=8).map(|k| format!("{k:>3}")).collect::<String>());
+    println!(
+        "n\\k {}",
+        (1..=8).map(|k| format!("{k:>3}")).collect::<String>()
+    );
     for n in 2..=8usize {
         let p = MuddyChildren::new(n);
         let mut row = format!("{n:>2}  ");
@@ -87,7 +90,10 @@ fn e1() {
     }
     let p = MuddyChildren::new(6);
     let silent = (0..64u64).all(|m| p.run_without_announcement(m).first_yes_round().is_none());
-    println!("without announcement, any yes ever (n=6, all masks): {}", !silent);
+    println!(
+        "without announcement, any yes ever (n=6, all masks): {}",
+        !silent
+    );
 }
 
 fn e2() {
@@ -158,7 +164,9 @@ fn e4() {
 
 fn e5() {
     // Theorem 7 under unbounded delivery.
-    use hm_netsim::{enumerate_runs, Command, ExecutionSpec, FnProtocol, LocalView, UnboundedDelay};
+    use hm_netsim::{
+        enumerate_runs, Command, ExecutionSpec, FnProtocol, LocalView, UnboundedDelay,
+    };
     use hm_runs::{CompleteHistory, InterpretedSystem, Message, System};
     let protocol = FnProtocol::new("oneshot", |v: &LocalView<'_>| {
         if v.me.index() == 0 && v.initial_state == 1 && v.sent().count() == 0 {

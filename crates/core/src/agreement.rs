@@ -107,10 +107,7 @@ fn execute(
         CrashPattern::Crash(c, r, recips) => {
             format!(
                 "v{inputs:0width$b}-c{c}r{r}s{}",
-                recips
-                    .iter()
-                    .map(|j| j.to_string())
-                    .collect::<String>(),
+                recips.iter().map(|j| j.to_string()).collect::<String>(),
                 width = n
             )
         }

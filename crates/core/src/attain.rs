@@ -161,11 +161,7 @@ pub fn check_ck_run_constant(
 /// # Errors
 ///
 /// Propagates [`EvalError`] from the model checker.
-pub fn ck_set(
-    isys: &InterpretedSystem,
-    g: &AgentGroup,
-    fact: &F,
-) -> Result<WorldSet, EvalError> {
+pub fn ck_set(isys: &InterpretedSystem, g: &AgentGroup, fact: &F) -> Result<WorldSet, EvalError> {
     isys.eval(&Formula::common(g.clone(), fact.clone()))
 }
 
@@ -183,10 +179,7 @@ pub fn ck_set(
 /// # Errors
 ///
 /// Propagates [`EnumerateError`] from run enumeration.
-pub fn uncertain_start_system(
-    horizon: u64,
-    global_clock: bool,
-) -> Result<System, EnumerateError> {
+pub fn uncertain_start_system(horizon: u64, global_clock: bool) -> Result<System, EnumerateError> {
     let protocol = FnProtocol::new("announce", |v: &LocalView<'_>| {
         if v.me.index() == 0 && v.initial_state == 1 && v.sent().count() == 0 {
             vec![Command::Send {
@@ -285,9 +278,7 @@ mod tests {
     fn proposition13_on_the_generals() {
         let isys = generals_interpreted(6).unwrap();
         let fact = Formula::atom("dispatched");
-        assert!(check_proposition13(&isys, &g2(), &fact)
-            .unwrap()
-            .is_empty());
+        assert!(check_proposition13(&isys, &g2(), &fact).unwrap().is_empty());
     }
 
     #[test]

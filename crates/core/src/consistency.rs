@@ -30,10 +30,7 @@ pub struct BeliefAssignment {
 
 impl BeliefAssignment {
     /// Builds an assignment from per-agent predicates over `(run, t)`.
-    pub fn from_predicates(
-        isys: &InterpretedSystem,
-        preds: Vec<BeliefPred>,
-    ) -> Self {
+    pub fn from_predicates(isys: &InterpretedSystem, preds: Vec<BeliefPred>) -> Self {
         let mut believes = Vec::with_capacity(preds.len());
         for pred in &preds {
             let mut set = WorldSet::empty(isys.model().num_worlds());
@@ -56,7 +53,9 @@ impl BeliefAssignment {
 pub fn history_measurable(isys: &InterpretedSystem, i: AgentId, believes: &WorldSet) -> bool {
     let part = isys.model().partition(i);
     part.blocks().all(|block| {
-        let mut it = block.iter().map(|&w| believes.contains(hm_kripke::WorldId::new(w as usize)));
+        let mut it = block
+            .iter()
+            .map(|&w| believes.contains(hm_kripke::WorldId::new(w as usize)));
         match it.next() {
             None => true,
             Some(first) => it.all(|b| b == first),
@@ -192,13 +191,9 @@ mod tests {
             &isys,
             vec![
                 // R2 believes once its send is in its history.
-                Box::new(|run: &hm_runs::Run, t: u64| {
-                    run.proc(a(0)).events_before(t).count() > 0
-                }),
+                Box::new(|run: &hm_runs::Run, t: u64| run.proc(a(0)).events_before(t).count() > 0),
                 // D2 believes once its receive is in its history.
-                Box::new(|run: &hm_runs::Run, t: u64| {
-                    run.proc(a(1)).events_before(t).count() > 0
-                }),
+                Box::new(|run: &hm_runs::Run, t: u64| run.proc(a(1)).events_before(t).count() > 0),
             ],
         );
         (isys, beliefs, fact)
@@ -241,9 +236,7 @@ mod tests {
         let slows: Vec<RunId> = (0..3)
             .map(|j| isys.system().run_by_name(&format!("slow{j}")).unwrap())
             .collect();
-        assert!(!internally_consistent_with(
-            &isys, &beliefs, &fact, &slows
-        ));
+        assert!(!internally_consistent_with(&isys, &beliefs, &fact, &slows));
     }
 
     #[test]

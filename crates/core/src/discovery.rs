@@ -73,7 +73,10 @@ pub fn has_deadlock(targets: &[u64]) -> bool {
 ///
 /// Propagates [`EnumerateError`].
 pub fn deadlock_system(n: usize, horizon: u64) -> Result<InterpretedSystem, EnumerateError> {
-    assert!((2..=4).contains(&n), "deadlock demo sized for 2..=4 processes");
+    assert!(
+        (2..=4).contains(&n),
+        "deadlock demo sized for 2..=4 processes"
+    );
     let protocol = FnProtocol::new("probe", move |v: &LocalView<'_>| {
         let n = v.num_procs;
         let me = v.me.index();
@@ -167,9 +170,10 @@ pub fn deadlock_system(n: usize, horizon: u64) -> Result<InterpretedSystem, Enum
         })
         .fact("detected", |run, t| {
             run.procs.iter().any(|p| {
-                p.events
-                    .iter()
-                    .any(|e| e.time < t && matches!(e.event, Event::Act { action, .. } if action == ACT_DETECT))
+                p.events.iter().any(|e| {
+                    e.time < t
+                        && matches!(e.event, Event::Act { action, .. } if action == ACT_DETECT)
+                })
             })
         })
         .build())
@@ -323,15 +327,14 @@ mod tests {
         let (_, run) = isys
             .system()
             .runs()
-            .find(|(_, r)| {
-                r.procs.iter().map(|p| p.initial_state).eq([1u64, 0, 3])
-            })
+            .find(|(_, r)| r.procs.iter().map(|p| p.initial_state).eq([1u64, 0, 3]))
             .unwrap();
         let detectors: Vec<usize> = (0..3)
             .filter(|&i| {
-                run.proc(AgentId::new(i)).events.iter().any(
-                    |e| matches!(e.event, Event::Act { action, .. } if action == ACT_DETECT),
-                )
+                run.proc(AgentId::new(i))
+                    .events
+                    .iter()
+                    .any(|e| matches!(e.event, Event::Act { action, .. } if action == ACT_DETECT))
             })
             .collect();
         assert!(!detectors.is_empty());

@@ -70,9 +70,7 @@ impl Hierarchy {
     /// `true` iff every stronger level is included in every weaker one
     /// (the paper's chain of implications) — must hold in every model.
     pub fn inclusions_hold(&self) -> bool {
-        self.levels
-            .windows(2)
-            .all(|w| w[1].1.is_subset(&w[0].1))
+        self.levels.windows(2).all(|w| w[1].1.is_subset(&w[0].1))
     }
 
     /// For each adjacent pair (weaker, stronger), a world where the weaker

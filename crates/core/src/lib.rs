@@ -2,7 +2,8 @@
 //!
 //! This crate is the reproduction's primary deliverable: every numbered
 //! claim and worked example of *Knowledge and Common Knowledge in a
-//! Distributed Environment* (JACM 1990) as a checkable computation over
+//! Distributed Environment* (PODC '84; journal version JACM 1990) as a
+//! checkable computation over
 //! the substrates (`hm-kripke`, `hm-logic`, `hm-runs`, `hm-netsim`).
 //!
 //! | Module | Paper source |

@@ -59,9 +59,9 @@ fn interpret(system: hm_runs::System) -> InterpretedSystem {
         })
         .fact("attacking", |run, t| {
             (0..2).all(|i| {
-                run.proc(AgentId::new(i)).events_before(t + 1).any(|e| {
-                    matches!(e.event, Event::Act { action, .. } if action == ACT_ATTACK)
-                })
+                run.proc(AgentId::new(i))
+                    .events_before(t + 1)
+                    .any(|e| matches!(e.event, Event::Act { action, .. } if action == ACT_ATTACK))
             })
         })
         .build()
@@ -94,8 +94,7 @@ pub fn ladder_depth_at_end(isys: &InterpretedSystem, d: usize, max_depth: usize)
         .system()
         .runs()
         .find(|(_, r)| {
-            r.proc(AgentId::new(0)).initial_state == 1
-                && r.deliveries_before(r.horizon + 1) == d
+            r.proc(AgentId::new(0)).initial_state == 1 && r.deliveries_before(r.horizon + 1) == d
         })
         .unwrap_or_else(|| panic!("no intent run with {d} deliveries"));
     let end = run.horizon;

@@ -228,8 +228,7 @@ mod tests {
                 let k = mask.count_ones() as usize;
                 let t = p.run_with_announcement(mask);
                 assert_eq!(t.first_yes_round(), Some(k), "n={n} mask={mask:b}");
-                let muddy: Vec<usize> =
-                    (0..n).filter(|i| mask & (1 << i) != 0).collect();
+                let muddy: Vec<usize> = (0..n).filter(|i| mask & (1 << i) != 0).collect();
                 assert_eq!(t.yes_children(k), muddy, "n={n} mask={mask:b}");
                 // Earlier rounds: unanimous "no".
                 for q in 1..k {

@@ -16,8 +16,7 @@
 use hm_kripke::AgentId;
 use hm_netsim::scenarios::ACT_ATTACK;
 use hm_netsim::{
-    enumerate_runs, Command, EnumerateError, ExecutionSpec, FnProtocol, LocalView,
-    LossyFixedDelay,
+    enumerate_runs, Command, EnumerateError, ExecutionSpec, FnProtocol, LocalView, LossyFixedDelay,
 };
 use hm_runs::{Message, Run, System};
 
@@ -203,9 +202,10 @@ pub fn probabilistic_attack(k: u32, p: Ratio) -> Result<AttackStats, EnumerateEr
 }
 
 fn attacks_in_run(run: &Run, i: usize) -> bool {
-    run.proc(AgentId::new(i)).events.iter().any(|e| {
-        matches!(e.event, hm_runs::Event::Act { action, .. } if action == ACT_ATTACK)
-    })
+    run.proc(AgentId::new(i))
+        .events
+        .iter()
+        .any(|e| matches!(e.event, hm_runs::Event::Act { action, .. } if action == ACT_ATTACK))
 }
 
 #[cfg(test)]
@@ -238,11 +238,7 @@ mod tests {
             assert_eq!(stats.runs, 1 << k, "k={k}");
             let expected_lone = p.complement().pow(k);
             assert_eq!(stats.p_lone_attack, expected_lone, "k={k}");
-            assert_eq!(
-                stats.p_coordinated,
-                expected_lone.complement(),
-                "k={k}"
-            );
+            assert_eq!(stats.p_coordinated, expected_lone.complement(), "k={k}");
         }
     }
 

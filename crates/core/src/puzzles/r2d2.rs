@@ -136,10 +136,7 @@ mod tests {
         // sender; past (pre+post)·ε our truncation makes `sent` valid and
         // hence trivially common knowledge — a documented edge artifact).
         let last_send = (pre + post) as u64 * eps;
-        for rid in [
-            analysis.meta.focus_slow,
-            analysis.meta.focus_fast.unwrap(),
-        ] {
+        for rid in [analysis.meta.focus_slow, analysis.meta.focus_fast.unwrap()] {
             for t in 0..last_send {
                 assert!(
                     !ck.contains(analysis.isys.world(rid, t)),
@@ -182,8 +179,7 @@ mod tests {
         // The fast focus run attains it at the same wall-clock time (the
         // paper: R2 cannot tell which of r0/r1 occurred, but both have CK
         // by t_S + ε).
-        let onset_fast =
-            first_time(&analysis.isys, analysis.meta.focus_fast.unwrap(), &f).unwrap();
+        let onset_fast = first_time(&analysis.isys, analysis.meta.focus_fast.unwrap(), &f).unwrap();
         assert_eq!(onset_fast, Some(ts + eps + 1));
     }
 

@@ -43,9 +43,7 @@ impl CheatingHusbands {
     /// The "shoot iff you know your husband is unfaithful" rule.
     fn rule(&self) -> KnowledgeRule {
         let unfaithful: Vec<WorldSet> = (0..self.n()).map(|i| self.base.muddy_set(i)).collect();
-        Box::new(move |r: &Restriction<'_>, i: AgentId| {
-            r.knowledge(i, &unfaithful[i.index()])
-        })
+        Box::new(move |r: &Restriction<'_>, i: AgentId| r.knowledge(i, &unfaithful[i.index()]))
     }
 
     /// Runs `nights` nights at the actual infidelity mask, with the
@@ -56,15 +54,13 @@ impl CheatingHusbands {
     /// Panics if `actual == 0` (the announcement would be false).
     pub fn run_with_announcement(&self, actual: u64, nights: usize) -> KbpTrace {
         assert!(actual != 0, "the queen's announcement requires k >= 1");
-        let protocol =
-            KnowledgeProtocol::new(self.base.model(), Turns::Simultaneous, self.rule());
+        let protocol = KnowledgeProtocol::new(self.base.model(), Turns::Simultaneous, self.rule());
         protocol.run(self.base.world(actual), Some(&self.base.m_set()), nights)
     }
 
     /// Runs without the announcement (the nights stay quiet).
     pub fn run_without_announcement(&self, actual: u64, nights: usize) -> KbpTrace {
-        let protocol =
-            KnowledgeProtocol::new(self.base.model(), Turns::Simultaneous, self.rule());
+        let protocol = KnowledgeProtocol::new(self.base.model(), Turns::Simultaneous, self.rule());
         protocol.run(self.base.world(actual), None, nights)
     }
 }
@@ -80,11 +76,7 @@ mod tests {
             for mask in 1..(1u64 << n) {
                 let k = mask.count_ones() as usize;
                 let trace = puzzle.run_with_announcement(mask, n + 2);
-                assert_eq!(
-                    trace.first_positive_round(),
-                    Some(k),
-                    "n={n} mask={mask:b}"
-                );
+                assert_eq!(trace.first_positive_round(), Some(k), "n={n} mask={mask:b}");
                 let wronged: Vec<usize> = (0..n).filter(|i| mask & (1 << i) != 0).collect();
                 assert_eq!(trace.positive_agents(k), wronged, "n={n} mask={mask:b}");
             }

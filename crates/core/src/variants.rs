@@ -524,15 +524,9 @@ mod tests {
         assert_eq!(check_theorem12a(&sync, &g2(), &fact, 4).unwrap(), None);
         // (b) clocks within ε=2: C^T ⊃ C^ε at stamp points.
         let skewed = skewed_broadcast_interpreted(8, 2).unwrap();
-        assert_eq!(
-            check_theorem12b(&skewed, &g2(), &fact, 5, 2).unwrap(),
-            None
-        );
+        assert_eq!(check_theorem12b(&skewed, &g2(), &fact, 5, 2).unwrap(), None);
         // (c) all clocks reach the stamp: C^T ⊃ C^◇ everywhere.
-        assert_eq!(
-            check_theorem12c(&skewed, &g2(), &fact, 6).unwrap(),
-            None
-        );
+        assert_eq!(check_theorem12c(&skewed, &g2(), &fact, 6).unwrap(), None);
     }
 
     #[test]
@@ -548,9 +542,7 @@ mod tests {
             .unwrap();
         assert!(ct.is_full(), "C^T[6] sent_v should hold everywhere");
         // An early stamp fails: nobody knows at clock 1.
-        let early = isys
-            .eval(&Formula::common_ts(g2(), 1, fact))
-            .unwrap();
+        let early = isys.eval(&Formula::common_ts(g2(), 1, fact)).unwrap();
         assert!(early.is_empty());
     }
 }

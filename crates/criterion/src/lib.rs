@@ -1,0 +1,384 @@
+//! An offline, zero-dependency subset of the `criterion` benchmark API.
+//!
+//! The build environment for this workspace has no network access, so the
+//! real [criterion](https://crates.io/crates/criterion) crate cannot be
+//! fetched. This crate reimplements the slice of its surface that
+//! `crates/bench/benches/{experiments,substrates}.rs` use — [`Criterion`],
+//! [`Bencher::iter`], [`BenchmarkId`], benchmark groups, and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — as a plain
+//! `std::time::Instant` harness.
+//!
+//! Instead of criterion's HTML reports, every run **merges its results
+//! into `BENCH_seed.json` at the workspace root** (override the location
+//! with the `HM_CRITERION_OUT` environment variable). The file maps each
+//! benchmark id to mean/min/max nanoseconds per iteration, and seeds the
+//! repo's performance trajectory: later PRs diff their numbers against
+//! it.
+//!
+//! Measurement model, kept deliberately simple:
+//!
+//! 1. warm up and estimate the per-iteration cost;
+//! 2. pick an iteration count so one sample takes ≳2 ms;
+//! 3. take `sample_size` samples and record per-iteration statistics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::fmt::Display;
+use std::fs;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Re-export of [`std::hint::black_box`], mirroring `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Target duration of one measured sample.
+const TARGET_SAMPLE_NANOS: f64 = 2_000_000.0;
+
+/// Statistics for one benchmark id, in nanoseconds per iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stats {
+    /// Mean over all samples.
+    pub mean_ns: f64,
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Slowest sample.
+    pub max_ns: f64,
+    /// Number of samples taken.
+    pub samples: usize,
+    /// Iterations per sample.
+    pub iters_per_sample: u64,
+}
+
+/// The benchmark driver handed to every `criterion_group!` target.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    sample_size: Option<usize>,
+    results: BTreeMap<String, Stats>,
+}
+
+impl Criterion {
+    /// Sets the number of samples per benchmark (builder style, as in
+    /// `Criterion::default().sample_size(10)`).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = Some(n);
+        self
+    }
+
+    fn effective_sample_size(&self) -> usize {
+        self.sample_size.unwrap_or(20)
+    }
+
+    /// Runs a single benchmark under `id`.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(id.to_string(), f);
+        self
+    }
+
+    /// Shared measurement path for all bench entry points.
+    fn run_one(&mut self, id: String, mut f: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            sample_size: self.effective_sample_size(),
+            stats: None,
+        };
+        f(&mut bencher);
+        self.record(id, bencher);
+    }
+
+    /// Opens a named group; benchmark ids are prefixed with `name/`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    fn record(&mut self, id: String, bencher: Bencher) {
+        let stats = bencher
+            .stats
+            .unwrap_or_else(|| panic!("benchmark `{id}` never called Bencher::iter"));
+        println!(
+            "{id:<44} time: [{} {} {}] ({} samples x {} iters)",
+            fmt_ns(stats.min_ns),
+            fmt_ns(stats.mean_ns),
+            fmt_ns(stats.max_ns),
+            stats.samples,
+            stats.iters_per_sample,
+        );
+        self.results.insert(id, stats);
+    }
+}
+
+impl Drop for Criterion {
+    /// Flushes results into the JSON summary when the group finishes.
+    fn drop(&mut self) {
+        if self.results.is_empty() {
+            return;
+        }
+        let path = summary_path();
+        let old = fs::read_to_string(&path).unwrap_or_default();
+        let mut merged = read_summary(&old);
+        // The merge parser only understands render_summary's own line
+        // format. If the file holds entries we cannot parse back (e.g.
+        // it was reformatted by hand or by jq — every entry, however
+        // formatted, still contains a "mean_ns" key), overwriting would
+        // silently destroy recorded baselines — keep a backup and say so.
+        if merged.len() < old.matches("\"mean_ns\"").count() {
+            let backup = path.with_extension("json.bak");
+            let _ = fs::write(&backup, &old);
+            eprintln!(
+                "hm-criterion: {} has entries this parser cannot read back \
+                 ({} of {} recovered); previous contents saved to {}",
+                path.display(),
+                merged.len(),
+                old.matches("\"mean_ns\"").count(),
+                backup.display()
+            );
+        }
+        merged.append(&mut self.results);
+        if let Err(e) = fs::write(&path, render_summary(&merged)) {
+            eprintln!("hm-criterion: cannot write {}: {e}", path.display());
+        } else {
+            println!(
+                "hm-criterion: wrote {} ({} benches)",
+                path.display(),
+                merged.len()
+            );
+        }
+    }
+}
+
+/// A group of related benchmarks sharing an id prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs a benchmark whose id is parameterised by `id` (the input
+    /// value itself is just passed through to the closure).
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        self.criterion.run_one(full, |b| f(b, input));
+        self
+    }
+
+    /// Runs an unparameterised benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.run_one(full, f);
+        self
+    }
+
+    /// Ends the group (upstream-compatible no-op; results are already
+    /// recorded).
+    pub fn finish(self) {}
+}
+
+/// A benchmark id made of a function name and a parameter, rendered as
+/// `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("union", 256)` → id `union/256`.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Times closures; handed to benchmark functions.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    stats: Option<Stats>,
+}
+
+impl Bencher {
+    /// Measures `f`, running it enough times per sample to dominate timer
+    /// overhead.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Warm-up and per-iteration estimate: run until 1 ms has passed.
+        let warmup = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        loop {
+            black_box(f());
+            warmup_iters += 1;
+            if warmup.elapsed().as_nanos() >= 1_000_000 || warmup_iters >= 10_000 {
+                break;
+            }
+        }
+        let est_ns = warmup.elapsed().as_nanos() as f64 / warmup_iters as f64;
+        let iters = (TARGET_SAMPLE_NANOS / est_ns.max(0.5)).clamp(1.0, 10_000_000.0) as u64;
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            samples.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().cloned().fold(0.0_f64, f64::max);
+        self.stats = Some(Stats {
+            mean_ns: mean,
+            min_ns: min,
+            max_ns: max,
+            samples: samples.len(),
+            iters_per_sample: iters,
+        });
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Where the JSON summary goes: `$HM_CRITERION_OUT` if set, else
+/// `BENCH_seed.json` next to the workspace-root `Cargo.lock` found by
+/// walking up from the package directory.
+fn summary_path() -> PathBuf {
+    if let Ok(p) = std::env::var("HM_CRITERION_OUT") {
+        return PathBuf::from(p);
+    }
+    let start = std::env::var("CARGO_MANIFEST_DIR")
+        .map(PathBuf::from)
+        .or_else(|_| std::env::current_dir())
+        .unwrap_or_else(|_| PathBuf::from("."));
+    let mut dir = start.clone();
+    for _ in 0..6 {
+        if dir.join("Cargo.lock").exists() {
+            return dir.join("BENCH_seed.json");
+        }
+        if !dir.pop() {
+            break;
+        }
+    }
+    start.join("BENCH_seed.json")
+}
+
+/// Parses an existing summary written by [`render_summary`]; entries in
+/// any other format are skipped (the caller detects and backs them up).
+fn read_summary(text: &str) -> BTreeMap<String, Stats> {
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some(rest) = line.strip_prefix('"') else {
+            continue;
+        };
+        let Some((id, body)) = rest.split_once("\": {") else {
+            continue;
+        };
+        let field = |key: &str| -> Option<f64> {
+            let tail = body.split_once(&format!("\"{key}\": "))?.1;
+            let end = tail.find([',', '}']).unwrap_or(tail.len());
+            tail[..end].trim().parse().ok()
+        };
+        if let (Some(mean), Some(min), Some(max), Some(samples), Some(iters)) = (
+            field("mean_ns"),
+            field("min_ns"),
+            field("max_ns"),
+            field("samples"),
+            field("iters_per_sample"),
+        ) {
+            out.insert(
+                id.to_string(),
+                Stats {
+                    mean_ns: mean,
+                    min_ns: min,
+                    max_ns: max,
+                    samples: samples as usize,
+                    iters_per_sample: iters as u64,
+                },
+            );
+        }
+    }
+    out
+}
+
+fn render_summary(benches: &BTreeMap<String, Stats>) -> String {
+    let mut s = String::from("{\n\"schema\": \"hm-criterion/v1\",\n\"unit\": \"ns/iter\",\n");
+    let n = benches.len();
+    for (i, (id, st)) in benches.iter().enumerate() {
+        s.push_str(&format!(
+            "\"{id}\": {{\"mean_ns\": {:.2}, \"min_ns\": {:.2}, \"max_ns\": {:.2}, \"samples\": {}, \"iters_per_sample\": {}}}{}\n",
+            st.mean_ns,
+            st.min_ns,
+            st.max_ns,
+            st.samples,
+            st.iters_per_sample,
+            if i + 1 < n { "," } else { "" },
+        ));
+    }
+    s.push_str("}\n");
+    s
+}
+
+/// Declares a benchmark group: either `criterion_group!(name, target, ..)`
+/// or the configured form with `name = ..; config = ..; targets = ..`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generates `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` may pass libtest-style flags; they are
+            // irrelevant to this harness and ignored.
+            $($group();)+
+        }
+    };
+}

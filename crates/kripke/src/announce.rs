@@ -225,7 +225,10 @@ mod tests {
                 sub.knowledge(AgentId::new(0), &sub_p),
             ),
             (r.everyone_knows(&g, &pa), sub.everyone_knows(&g, &sub_p)),
-            (r.common_knowledge(&g, &pa), sub.common_knowledge(&g, &sub_p)),
+            (
+                r.common_knowledge(&g, &pa),
+                sub.common_knowledge(&g, &sub_p),
+            ),
         ] {
             let lifted: Vec<bool> = sub
                 .worlds()

@@ -2,8 +2,8 @@
 //!
 //! This crate is the model-theoretic substrate of the Halpern–Moses
 //! reproduction: the "graph corresponding to `R` and `v`" of Section 6 of
-//! *Knowledge and Common Knowledge in a Distributed Environment* (JACM
-//! 1990), made finite and executable.
+//! *Knowledge and Common Knowledge in a Distributed Environment* (PODC
+//! '84; journal version JACM 1990), made finite and executable.
 //!
 //! - Worlds are dense indices ([`WorldId`]); sets of worlds are packed
 //!   bitsets ([`WorldSet`]) so the set-valued semantics of Appendix A is a

@@ -222,9 +222,8 @@ mod tests {
                     min.model.common_knowledge(&g, &fact_new),
                 ),
             ];
-            for (w, (old_set, new_set)) in m
-                .worlds()
-                .flat_map(|w| pairs.iter().map(move |p| (w, p)))
+            for (w, (old_set, new_set)) in
+                m.worlds().flat_map(|w| pairs.iter().map(move |p| (w, p)))
             {
                 assert_eq!(
                     old_set.contains(w),
@@ -259,10 +258,7 @@ mod tests {
         let min = minimize(&m);
         assert_eq!(min.model.num_worlds(), 2);
         let fact_new = min.model.atom_set(0.into());
-        assert!(min
-            .model
-            .distributed_knowledge(&g, &fact_new)
-            .is_empty());
+        assert!(min.model.distributed_knowledge(&g, &fact_new).is_empty());
     }
 
     #[test]

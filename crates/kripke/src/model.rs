@@ -550,10 +550,7 @@ mod tests {
         let g = m.all_agents();
         let pa = m.atom_set(p);
         assert_eq!(m.everyone_knows_k(&g, &pa, 0), pa);
-        assert_eq!(
-            m.everyone_knows_k(&g, &pa, 1),
-            m.everyone_knows(&g, &pa)
-        );
+        assert_eq!(m.everyone_knows_k(&g, &pa, 1), m.everyone_knows(&g, &pa));
     }
 
     #[test]

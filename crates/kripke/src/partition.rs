@@ -176,9 +176,7 @@ impl Partition {
     /// meet of its members' partitions.
     pub fn meet(&self, other: &Partition) -> Partition {
         assert_eq!(self.num_worlds(), other.num_worlds(), "universe mismatch");
-        Partition::from_key(self.num_worlds(), |w| {
-            (self.block_of(w), other.block_of(w))
-        })
+        Partition::from_key(self.num_worlds(), |w| (self.block_of(w), other.block_of(w)))
     }
 
     /// The join (finest common coarsening) of two partitions: the

@@ -55,7 +55,11 @@ impl ModalOp {
         let member_knowledge = |g: &AgentGroup, arg: &WorldSet| -> Vec<WorldSet> {
             g.iter().map(|i| frame.knowledge_set(i, arg)).collect()
         };
-        let need_ts = || frame.temporal().expect("temporal operator needs temporal frame");
+        let need_ts = || {
+            frame
+                .temporal()
+                .expect("temporal operator needs temporal frame")
+        };
         match self {
             ModalOp::Knows(i) => frame.knowledge_set(*i, a),
             ModalOp::Everyone(g) => frame.everyone_set(g, a),
@@ -219,12 +223,17 @@ pub fn check_fixed_point_axiom(
     op: &ModalOp,
     suite: &[WorldSet],
 ) -> Option<WorldId> {
-    let e_op = op.everyone_form().expect("fixed-point axiom needs a C-variant");
+    let e_op = op
+        .everyone_form()
+        .expect("fixed-point axiom needs a C-variant");
     for a in suite {
         let c = op.apply(frame, a);
         let e = e_op.apply(frame, &a.intersection(&c));
         if c != e {
-            return c.difference(&e).first().or_else(|| e.difference(&c).first());
+            return c
+                .difference(&e)
+                .first()
+                .or_else(|| e.difference(&c).first());
         }
     }
     None
@@ -242,7 +251,9 @@ pub fn check_induction_rule(
     op: &ModalOp,
     suite: &[WorldSet],
 ) -> Option<WorldId> {
-    let e_op = op.everyone_form().expect("induction rule needs a C-variant");
+    let e_op = op
+        .everyone_form()
+        .expect("induction rule needs a C-variant");
     for a in suite {
         for b in suite {
             let hyp = e_op.apply(frame, &a.intersection(b));
@@ -273,7 +284,12 @@ pub fn check_lemma2(frame: &dyn Frame, g: &AgentGroup, suite: &[WorldSet]) -> Op
             some.union_with(&k);
         }
         if c != all || c != some {
-            for x in [c.difference(&all), all.difference(&c), c.difference(&some), some.difference(&c)] {
+            for x in [
+                c.difference(&all),
+                all.difference(&c),
+                c.difference(&some),
+                some.difference(&c),
+            ] {
                 if let Some(w) = x.first() {
                     return Some(w);
                 }

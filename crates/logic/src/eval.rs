@@ -43,7 +43,10 @@ impl fmt::Display for EvalError {
                 write!(f, "variable `{x}` occurs non-positively under its binder")
             }
             EvalError::NoTemporalStructure(op) => {
-                write!(f, "temporal operator `{op}` on a frame without run/time structure")
+                write!(
+                    f,
+                    "temporal operator `{op}` on a frame without run/time structure"
+                )
             }
             EvalError::AgentOutOfRange(i) => write!(f, "agent index {i} out of range"),
         }
@@ -345,9 +348,7 @@ fn check_positive(f: &Formula, var: &str) -> Result<(), EvalError> {
     fn occurs_free(f: &Formula, var: &str) -> bool {
         match f {
             Formula::Var(x) => x == var,
-            Formula::Gfp(x, body) | Formula::Lfp(x, body) => {
-                x != var && occurs_free(body, var)
-            }
+            Formula::Gfp(x, body) | Formula::Lfp(x, body) => x != var && occurs_free(body, var),
             _ => {
                 let mut found = false;
                 f.for_each_child(|c| found |= occurs_free(c, var));
@@ -490,10 +491,7 @@ mod tests {
         let g = AgentGroup::all(2);
         let f = Formula::lfp(
             "X",
-            Formula::or([
-                Formula::atom("p"),
-                Formula::someone(g, Formula::var("X")),
-            ]),
+            Formula::or([Formula::atom("p"), Formula::someone(g, Formula::var("X"))]),
         );
         let out = evaluate(&m, &f).unwrap();
         assert!(ws(3, &[0, 1]).is_subset(&out));
@@ -548,10 +546,7 @@ mod tests {
     #[test]
     fn positivity_checker() {
         // X under implication antecedent: negative.
-        let bad = Formula::gfp(
-            "X",
-            Formula::implies(Formula::var("X"), Formula::atom("p")),
-        );
+        let bad = Formula::gfp("X", Formula::implies(Formula::var("X"), Formula::atom("p")));
         assert!(matches!(
             evaluate(&chain(), &bad),
             Err(EvalError::NonMonotone(_))
@@ -577,10 +572,7 @@ mod tests {
         // Shadowing: inner binder rebinds X, outer gfp is fine.
         let shadow = Formula::gfp(
             "X",
-            Formula::and([
-                Formula::atom("p"),
-                Formula::gfp("X", Formula::var("X")),
-            ]),
+            Formula::and([Formula::atom("p"), Formula::gfp("X", Formula::var("X"))]),
         );
         assert!(evaluate(&chain(), &shadow).is_ok());
     }

@@ -2,7 +2,8 @@
 //!
 //! This crate implements the logical language and semantics of Halpern &
 //! Moses, *Knowledge and Common Knowledge in a Distributed Environment*
-//! (JACM 1990): the group-knowledge operators of Section 3, the
+//! (PODC '84; journal version JACM 1990): the group-knowledge operators
+//! of Section 3, the
 //! view-based Kripke semantics of Section 6, the attainable variants
 //! `C^ε`/`C^◇`/`C^T` of Sections 11–12, and — following Appendix A — a
 //! propositional logic of knowledge with explicit greatest/least fixed

@@ -236,7 +236,9 @@ impl<'a> Parser<'a> {
             }
             Some(b'$') => {
                 self.pos += 1;
-                let name = self.ident().ok_or_else(|| self.err("expected variable name"))?;
+                let name = self
+                    .ident()
+                    .ok_or_else(|| self.err("expected variable name"))?;
                 Ok(Formula::var(name))
             }
             Some(_) => self.ident_led(),
@@ -312,11 +314,15 @@ impl<'a> Parser<'a> {
                 let g = self.group()?;
                 Ok(Formula::common_ts(g, t, self.unary()?))
             }
-            _ if id.starts_with('K') && id[1..].chars().all(|c| c.is_ascii_digit()) && id.len() > 1 =>
+            _ if id.starts_with('K')
+                && id[1..].chars().all(|c| c.is_ascii_digit())
+                && id.len() > 1 =>
             {
-                let agent = AgentId::new(id[1..].parse::<usize>().map_err(|_| {
-                    self.err("agent index too large")
-                })?);
+                let agent = AgentId::new(
+                    id[1..]
+                        .parse::<usize>()
+                        .map_err(|_| self.err("agent index too large"))?,
+                );
                 if self.eat("@") {
                     let t = self.bracketed_nat()?;
                     Ok(Formula::knows_at(agent, t, self.unary()?))
@@ -394,10 +400,7 @@ mod tests {
             Formula::common_eps(AgentGroup::all(2), 2, Formula::atom("sent"))
         );
         let f = parse("K1@[5] p").unwrap();
-        assert_eq!(
-            f,
-            Formula::knows_at(AgentId::new(1), 5, Formula::atom("p"))
-        );
+        assert_eq!(f, Formula::knows_at(AgentId::new(1), 5, Formula::atom("p")));
     }
 
     #[test]

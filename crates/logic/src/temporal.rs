@@ -83,10 +83,7 @@ pub fn everyone_eps_set(
     k_sets: &[WorldSet],
 ) -> WorldSet {
     assert_eq!(g.len(), k_sets.len(), "one knowledge set per group member");
-    let n = k_sets
-        .first()
-        .map(|s| s.universe_len())
-        .unwrap_or_default();
+    let n = k_sets.first().map(|s| s.universe_len()).unwrap_or_default();
     let mut out = WorldSet::empty(n);
     for run in 0..ts.num_runs() {
         let len = ts.run_len(run);
@@ -137,16 +134,13 @@ pub fn everyone_ev_set(
     k_sets: &[WorldSet],
 ) -> WorldSet {
     assert_eq!(g.len(), k_sets.len(), "one knowledge set per group member");
-    let n = k_sets
-        .first()
-        .map(|s| s.universe_len())
-        .unwrap_or_default();
+    let n = k_sets.first().map(|s| s.universe_len()).unwrap_or_default();
     let mut out = WorldSet::empty(n);
     for run in 0..ts.num_runs() {
         let len = ts.run_len(run);
-        let all_have_witness = k_sets.iter().all(|ks| {
-            (0..len).any(|t| ks.contains(ts.point(run, t).expect("t < len")))
-        });
+        let all_have_witness = k_sets
+            .iter()
+            .all(|ks| (0..len).any(|t| ks.contains(ts.point(run, t).expect("t < len"))));
         if all_have_witness {
             for t in 0..len {
                 out.insert(ts.point(run, t).expect("t < len"));
@@ -195,10 +189,7 @@ pub fn everyone_ts_set(
     k_sets: &[WorldSet],
 ) -> WorldSet {
     assert_eq!(g.len(), k_sets.len(), "one knowledge set per group member");
-    let n = k_sets
-        .first()
-        .map(|s| s.universe_len())
-        .unwrap_or_default();
+    let n = k_sets.first().map(|s| s.universe_len()).unwrap_or_default();
     let mut out = WorldSet::full(n);
     for (j, i) in g.iter().enumerate() {
         out.intersect_with(&knows_at_set(ts, i, stamp, &k_sets[j]));
@@ -245,7 +236,8 @@ mod tests {
             (w.index() % self.len as usize) as u64
         }
         fn point(&self, run: usize, t: u64) -> Option<WorldId> {
-            (run < self.runs && t < self.len).then(|| WorldId::new(run * self.len as usize + t as usize))
+            (run < self.runs && t < self.len)
+                .then(|| WorldId::new(run * self.len as usize + t as usize))
         }
         fn run_len(&self, _run: usize) -> u64 {
             self.len
@@ -262,7 +254,11 @@ mod tests {
     #[test]
     fn next_eventually_always_once() {
         // One run of length 4; A = {t=2}.
-        let g = Grid { runs: 1, len: 4, skew: 0 };
+        let g = Grid {
+            runs: 1,
+            len: 4,
+            skew: 0,
+        };
         let a = ws(4, &[2]);
         assert_eq!(next_set(&g, &a), ws(4, &[1]));
         assert_eq!(eventually_set(&g, &a), ws(4, &[0, 1, 2]));
@@ -277,14 +273,22 @@ mod tests {
     #[test]
     fn next_is_per_run() {
         // Two runs of length 2: A = {(r1, t0)}; ○A must not leak into r0.
-        let g = Grid { runs: 2, len: 2, skew: 0 };
+        let g = Grid {
+            runs: 2,
+            len: 2,
+            skew: 0,
+        };
         let a = ws(4, &[3]); // (r1, t1)
         assert_eq!(next_set(&g, &a), ws(4, &[2]));
     }
 
     #[test]
     fn everyone_ev_is_run_constant() {
-        let g = Grid { runs: 2, len: 3, skew: 0 };
+        let g = Grid {
+            runs: 2,
+            len: 3,
+            skew: 0,
+        };
         let grp = AgentGroup::all(2);
         // Agent 0 knows at (r0,t2); agent 1 knows at (r0,t0). Run 1: only
         // agent 0 has a witness.
@@ -301,7 +305,11 @@ mod tests {
         // E^ε; t=3 also qualifies via interval [3,5]? No: agent 1's witness
         // is 6 ∉ [3,5]. But interval [4,6] ∋ t=4..6 only. What about t=7?
         // intervals [5,7],[6,8],[7,9] lack agent 0's witness 4. So {4,5,6}.
-        let g = Grid { runs: 1, len: 10, skew: 0 };
+        let g = Grid {
+            runs: 1,
+            len: 10,
+            skew: 0,
+        };
         let grp = AgentGroup::all(2);
         let k0 = ws(10, &[4]);
         let k1 = ws(10, &[6]);
@@ -311,7 +319,11 @@ mod tests {
 
     #[test]
     fn everyone_eps_zero_is_simultaneous() {
-        let g = Grid { runs: 1, len: 5, skew: 0 };
+        let g = Grid {
+            runs: 1,
+            len: 5,
+            skew: 0,
+        };
         let grp = AgentGroup::all(2);
         let k0 = ws(5, &[1, 2]);
         let k1 = ws(5, &[2, 3]);
@@ -323,17 +335,28 @@ mod tests {
     fn everyone_eps_clamps_at_run_end() {
         // Witnesses at the very last point still count for intervals
         // reaching past the horizon.
-        let g = Grid { runs: 1, len: 3, skew: 0 };
+        let g = Grid {
+            runs: 1,
+            len: 3,
+            skew: 0,
+        };
         let grp = AgentGroup::all(1);
         let k0 = ws(3, &[2]);
         let out = everyone_eps_set(&g, &grp, 5, &[k0]);
-        assert!(out.is_full(), "single agent, witness in every wide interval");
+        assert!(
+            out.is_full(),
+            "single agent, witness in every wide interval"
+        );
     }
 
     #[test]
     fn knows_at_and_vacuity() {
         // Two runs, len 3, skew 0 (clock == time). Stamp 1.
-        let g = Grid { runs: 2, len: 3, skew: 0 };
+        let g = Grid {
+            runs: 2,
+            len: 3,
+            skew: 0,
+        };
         // Agent 0 knows at (r0, t1) but not (r1, t1).
         let k = ws(6, &[1]);
         let out = knows_at_set(&g, AgentId::new(0), 1, &k);
@@ -347,7 +370,11 @@ mod tests {
     fn everyone_ts_uses_each_agents_clock() {
         // skew 1: agent 1's clock = t+1. Stamp 2 — agent 0 reads 2 at t=2,
         // agent 1 reads 2 at t=1.
-        let g = Grid { runs: 1, len: 3, skew: 1 };
+        let g = Grid {
+            runs: 1,
+            len: 3,
+            skew: 1,
+        };
         let grp = AgentGroup::all(2);
         let k0 = ws(3, &[2]);
         let k1 = ws(3, &[1]);
@@ -360,7 +387,11 @@ mod tests {
 
     #[test]
     fn run_points_and_timeline() {
-        let g = Grid { runs: 2, len: 3, skew: 0 };
+        let g = Grid {
+            runs: 2,
+            len: 3,
+            skew: 0,
+        };
         assert_eq!(run_points(&g, 1, 6), ws(6, &[3, 4, 5]));
         assert_eq!(
             run_timeline(&g, 1),

@@ -272,10 +272,7 @@ mod tests {
     #[test]
     fn lossy_fixed() {
         let a = LossyFixedDelay { delay: 1 };
-        assert_eq!(
-            probe(&a, 2, 5),
-            vec![Outcome::Delivered(3), Outcome::Lost]
-        );
+        assert_eq!(probe(&a, 2, 5), vec![Outcome::Delivered(3), Outcome::Lost]);
         // Beyond horizon: only loss.
         assert_eq!(probe(&a, 5, 5), vec![Outcome::Lost]);
     }

@@ -1,7 +1,8 @@
 //! Deterministic distributed-protocol simulation with exhaustive
 //! adversarial run enumeration.
 //!
-//! The impossibility results of Halpern & Moses (JACM 1990) quantify over
+//! The impossibility results of Halpern & Moses (PODC '84; journal
+//! version JACM 1990) quantify over
 //! *all* runs of a protocol under an unreliable medium. This crate makes
 //! those quantifications finite and checkable: a [`JointProtocol`] is a
 //! deterministic function of local history (Section 5's definition), an
@@ -22,10 +23,8 @@ mod protocol;
 pub mod scenarios;
 
 pub use adversary::{
-    Adversary, BoundedUncertainDelay, InstantOrLost, InstantOrLostWindow, LossyFixedDelay,
-    Outcome, SynchronousDelay, UnboundedDelay,
+    Adversary, BoundedUncertainDelay, InstantOrLost, InstantOrLostWindow, LossyFixedDelay, Outcome,
+    SynchronousDelay, UnboundedDelay,
 };
-pub use executor::{
-    enumerate_runs, enumerate_system, Clocks, EnumerateError, ExecutionSpec,
-};
+pub use executor::{enumerate_runs, enumerate_system, Clocks, EnumerateError, ExecutionSpec};
 pub use protocol::{Command, FnProtocol, JointProtocol, LocalView, SeenEvent, Silent};

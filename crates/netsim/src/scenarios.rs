@@ -347,9 +347,9 @@ mod tests {
         // first message is delivered, B... wait B gets msg 1 → attacks; A
         // never gets the ack → A needs 1 received: never attacks. Unsafe.
         let sys = generals_attack_system(4, 1, 1).unwrap();
-        let unsafe_run = sys.runs().find(|(_, r)| {
-            attacks_in(r, a(1)) && !attacks_in(r, a(0))
-        });
+        let unsafe_run = sys
+            .runs()
+            .find(|(_, r)| attacks_in(r, a(1)) && !attacks_in(r, a(0)));
         assert!(unsafe_run.is_some(), "must contain a lone-attacker run");
     }
 

@@ -1,0 +1,383 @@
+//! An offline, zero-external-dependency subset of the `proptest` API.
+//!
+//! The build environment for this workspace has no network access, so the
+//! real [proptest](https://crates.io/crates/proptest) crate cannot be
+//! fetched. This crate reimplements the slice of its surface that the
+//! workspace's property tests use — the [`proptest!`] macro, the
+//! [`prelude`], integer-range strategies, [`Just`], tuples,
+//! [`prop_oneof!`], `prop_map`, `prop_recursive`, and the
+//! `prop_assert*`/[`prop_assume!`] macros — on top of the deterministic
+//! `SplitMix64` generator from `hm-kripke`.
+//!
+//! Differences from real proptest, by design:
+//!
+//! - **Generation is fully deterministic.** Each test derives a seed from
+//!   its own name (FNV-1a) and the case counter, so a failure reproduces
+//!   by re-running the test; there is no persistence file and no
+//!   `PROPTEST_*` environment handling.
+//! - **No shrinking.** A failing case panics immediately with the
+//!   generated inputs printed; the deterministic seed makes minimisation
+//!   less critical than in upstream proptest.
+//! - **Strategies generate eagerly.** A [`Strategy`] is just a
+//!   deterministic function from an RNG to a value.
+//!
+//! The seed-derivation scheme is pinned by known-answer tests (see
+//! `tests/determinism.rs`); changing it silently would invalidate the
+//! reproducibility story of every property test in the workspace.
+//!
+//! # Example
+//!
+//! ```
+//! use proptest::prelude::*;
+//!
+//! proptest! {
+//!     #![proptest_config(ProptestConfig::with_cases(64))]
+//!
+//!     // In a real test file this would carry `#[test]`.
+//!     fn addition_commutes(a in 0u64..1000, b in 0u64..1000) {
+//!         prop_assert_eq!(a + b, b + a);
+//!     }
+//! }
+//! addition_commutes();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod strategy;
+
+pub use strategy::{BoxedStrategy, Just, Map, OneOf, Strategy, TestRng};
+
+/// Per-block configuration, set with
+/// `#![proptest_config(ProptestConfig::with_cases(n))]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases each test must pass.
+    pub cases: u32,
+    /// Upper bound on `prop_assume!` rejections across the whole test
+    /// before it aborts (mirrors proptest's global reject limit).
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65536,
+        }
+    }
+}
+
+/// Why a single test case did not succeed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// An assertion failed; the whole test fails.
+    Fail(String),
+    /// A `prop_assume!` precondition failed; the case is retried with
+    /// fresh inputs and does not count towards `cases`.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejection (unmet `prop_assume!`) with the given message.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Result type the generated per-case closure returns.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Drives the cases of one `proptest!`-generated test.
+///
+/// Normally used only by the [`proptest!`] expansion, but public so the
+/// scheme is testable: case `k` (1-based, counting rejected attempts) of
+/// test `name` runs on `TestRng::from_seed(fnv1a(name) ^ splitmix(k))`.
+#[derive(Debug)]
+pub struct TestRunner {
+    name: &'static str,
+    seed_base: u64,
+    cases: u32,
+    completed: u32,
+    attempts: u64,
+    rejects: u32,
+    max_rejects: u32,
+}
+
+/// One pending test case handed out by [`TestRunner::next_case`].
+#[derive(Debug, Clone, Copy)]
+pub struct Case {
+    /// Seed of this case's RNG stream.
+    pub seed: u64,
+    /// 1-based attempt counter (rejected attempts included).
+    pub index: u64,
+}
+
+impl Case {
+    /// The RNG all strategies of this case draw from.
+    pub fn rng(&self) -> TestRng {
+        TestRng::from_seed(self.seed)
+    }
+}
+
+/// FNV-1a hash of a test name; the per-test seed base.
+fn fnv1a(name: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+impl TestRunner {
+    /// A runner for the named test under `config`.
+    pub fn new(name: &'static str, config: &ProptestConfig) -> Self {
+        TestRunner {
+            name,
+            seed_base: fnv1a(name),
+            cases: config.cases,
+            completed: 0,
+            attempts: 0,
+            rejects: 0,
+            max_rejects: config.max_global_rejects,
+        }
+    }
+
+    /// The next case to run, or `None` once enough cases have passed.
+    pub fn next_case(&mut self) -> Option<Case> {
+        if self.completed >= self.cases {
+            return None;
+        }
+        self.attempts += 1;
+        // Whiten the attempt counter through one SplitMix64 step so
+        // consecutive cases land in unrelated parts of the seed space.
+        let mixed = hm_kripke::SplitMix64::new(self.attempts).next_u64();
+        Some(Case {
+            seed: self.seed_base ^ mixed,
+            index: self.attempts,
+        })
+    }
+
+    /// Records the outcome of a case; panics (failing the `#[test]`) on
+    /// assertion failure or when the reject budget is exhausted.
+    ///
+    /// `values` renders the case's inputs for the failure message; it is
+    /// only invoked on failure.
+    pub fn report(&mut self, case: &Case, outcome: TestCaseResult, values: &dyn Fn() -> String) {
+        match outcome {
+            Ok(()) => self.completed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                self.rejects += 1;
+                if self.rejects > self.max_rejects {
+                    panic!(
+                        "proptest `{}`: too many `prop_assume!` rejections \
+                         ({} attempts, {} passed); loosen the assumption or \
+                         narrow the strategy",
+                        self.name, self.attempts, self.completed
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest `{}` failed at case #{} (seed {:#018x}):\n{}\ninputs:\n{}",
+                    self.name,
+                    case.index,
+                    case.seed,
+                    msg,
+                    values()
+                );
+            }
+        }
+    }
+}
+
+/// Everything the workspace's property tests import.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        ProptestConfig, TestCaseError, TestCaseResult,
+    };
+}
+
+/// Declares property tests.
+///
+/// Supports the upstream-proptest form used in this workspace: an
+/// optional leading `#![proptest_config(..)]`, then any number of
+/// `#[test] fn name(arg in strategy, ..) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!(($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $config;
+            let __strategy = ($($strat,)+);
+            let mut __runner = $crate::TestRunner::new(stringify!($name), &__config);
+            while let Some(__case) = __runner.next_case() {
+                let __outcome: $crate::TestCaseResult = {
+                    let mut __rng = __case.rng();
+                    let ($($arg,)+) = $crate::Strategy::generate(&__strategy, &mut __rng);
+                    (|| {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })()
+                };
+                // Failure reporting regenerates the inputs from the case
+                // seed (generation is deterministic), so passing cases pay
+                // no Debug-formatting cost and the body may move its
+                // arguments freely.
+                __runner.report(&__case, __outcome, &|| {
+                    let mut __rng = __case.rng();
+                    let ($($arg,)+) = $crate::Strategy::generate(&__strategy, &mut __rng);
+                    format!(
+                        concat!($("  ", stringify!($arg), " = {:?}\n"),+),
+                        $(&$arg),+
+                    )
+                });
+            }
+        }
+        $crate::__proptest_items!(($config) $($rest)*);
+    };
+}
+
+/// Weighted or unweighted choice between strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::one_of(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strat)),)+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::one_of(vec![
+            $((1u32, $crate::Strategy::boxed($strat)),)+
+        ])
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body; on failure the case's
+/// inputs are reported.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                        "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                        stringify!($left),
+                        stringify!($right),
+                        __l,
+                        __r
+                    )));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                        "assertion failed: `{} == {}`: {}\n  left: {:?}\n right: {:?}",
+                        stringify!($left),
+                        stringify!($right),
+                        format!($($fmt)+),
+                        __l,
+                        __r
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// Asserts two expressions are unequal inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if *__l == *__r {
+                    return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                        "assertion failed: `{} != {}`\n  both: {:?}",
+                        stringify!($left),
+                        stringify!($right),
+                        __l
+                    )));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if *__l == *__r {
+                    return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                        "assertion failed: `{} != {}`: {}\n  both: {:?}",
+                        stringify!($left),
+                        stringify!($right),
+                        format!($($fmt)+),
+                        __l
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// Discards the current case (without failing the test) when a
+/// precondition on the generated inputs does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}

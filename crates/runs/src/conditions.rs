@@ -73,9 +73,7 @@ pub fn check_ng1_prime(system: &System) -> Option<Violation> {
         for t in 0..=r.horizon {
             for u in t..=r.horizon {
                 let found = system.runs().any(|(_, r2)| {
-                    r.same_initial_config_and_clocks(r2)
-                        && extends(r, r2, t)
-                        && silent_in(r2, t, u)
+                    r.same_initial_config_and_clocks(r2) && extends(r, r2, t) && silent_in(r2, t, u)
                 });
                 if !found {
                     return Some(Violation {
@@ -110,30 +108,31 @@ pub fn check_ng2(system: &System) -> Option<Violation> {
             for tp in 0..=r.horizon {
                 for t in tp..=r.horizon {
                     // Hypothesis: p_i receives nothing in (t', t).
-                    let quiet_for_i = r.proc(pi).events.iter().all(|e| {
-                        !(e.event.is_recv() && e.time > tp && e.time < t)
-                    });
+                    let quiet_for_i = r
+                        .proc(pi)
+                        .events
+                        .iter()
+                        .all(|e| !(e.event.is_recv() && e.time > tp && e.time < t));
                     if !quiet_for_i {
                         continue;
                     }
-                    let found = system.runs().any(|(_, r2)| {
-                        r.same_initial_config_and_clocks(r2)
-                            && extends(r, r2, tp)
-                            && (0..=t).all(|u| histories_equal(r, r2, pi, u))
-                            && (0..system.num_procs()).all(|j| {
-                                j == i
-                                    || r2.proc(AgentId::new(j)).events.iter().all(|e| {
-                                        !(e.event.is_recv() && e.time >= tp && e.time < t)
-                                    })
-                            })
-                    });
+                    let found =
+                        system.runs().any(|(_, r2)| {
+                            r.same_initial_config_and_clocks(r2)
+                                && extends(r, r2, tp)
+                                && (0..=t).all(|u| histories_equal(r, r2, pi, u))
+                                && (0..system.num_procs()).all(|j| {
+                                    j == i
+                                        || r2.proc(AgentId::new(j)).events.iter().all(|e| {
+                                            !(e.event.is_recv() && e.time >= tp && e.time < t)
+                                        })
+                                })
+                        });
                     if !found {
                         return Some(Violation {
                             run: id,
                             time: t,
-                            reason: format!(
-                                "NG2 witness missing for p{i} on ({tp},{t})"
-                            ),
+                            reason: format!("NG2 witness missing for p{i} on ({tp},{t})"),
                         });
                     }
                 }
@@ -184,26 +183,18 @@ pub fn check_temporal_imprecision(system: &System) -> Option<Violation> {
 
 /// Finds a run `r'` witnessing a one-tick shift (late or early) of `p_i`
 /// against `p_j` before time `t` (see [`check_temporal_imprecision`]).
-pub fn shift_witness(
-    system: &System,
-    r: &Run,
-    t: u64,
-    pi: AgentId,
-    pj: AgentId,
-) -> Option<RunId> {
+pub fn shift_witness(system: &System, r: &Run, t: u64, pi: AgentId, pj: AgentId) -> Option<RunId> {
     let late = |r2: &Run| {
         (0..t).all(|u| {
             u < r2.horizon
-                && complete_history_key(r.proc(pi), u)
-                    == complete_history_key(r2.proc(pi), u + 1)
+                && complete_history_key(r.proc(pi), u) == complete_history_key(r2.proc(pi), u + 1)
                 && histories_equal(r, r2, pj, u)
         })
     };
     let early = |r2: &Run| {
         (0..t).all(|u| {
             u < r.horizon
-                && complete_history_key(r.proc(pi), u + 1)
-                    == complete_history_key(r2.proc(pi), u)
+                && complete_history_key(r.proc(pi), u + 1) == complete_history_key(r2.proc(pi), u)
                 && histories_equal(r, r2, pj, u)
         })
     };

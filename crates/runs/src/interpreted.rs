@@ -28,7 +28,11 @@ pub struct InterpretedSystemBuilder {
 impl InterpretedSystemBuilder {
     /// Declares a ground atom `name` true at the points where `fact`
     /// returns `true`.
-    pub fn fact(mut self, name: impl Into<String>, fact: impl Fn(&Run, u64) -> bool + 'static) -> Self {
+    pub fn fact(
+        mut self,
+        name: impl Into<String>,
+        fact: impl Fn(&Run, u64) -> bool + 'static,
+    ) -> Self {
         self.facts.push((name.into(), Box::new(fact)));
         self
     }
@@ -288,9 +292,9 @@ impl TemporalStructure for InterpretedSystem {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::event::{Event, Message};
     use crate::run::RunBuilder;
     use crate::view::{CompleteHistory, SharedLambda};
-    use crate::event::{Event, Message};
     use hm_logic::parse;
 
     fn a(i: usize) -> AgentId {

@@ -1,7 +1,8 @@
 //! The runs-and-systems model of distributed computation.
 //!
 //! Implements Sections 5–6 of Halpern & Moses, *Knowledge and Common
-//! Knowledge in a Distributed Environment* (JACM 1990): processors with
+//! Knowledge in a Distributed Environment* (PODC '84; journal version
+//! JACM 1990): processors with
 //! local histories and optional clocks, [`Run`]s as complete executions,
 //! [`System`]s as sets of runs, [`ViewFunction`]s assigning views to
 //! points, and [`InterpretedSystem`]s — the triple `(R, π, v)` — which

@@ -102,15 +102,11 @@ impl Run {
     /// "twin" hypothesis of Theorems 5 and 7.
     pub fn same_initial_config_and_clocks(&self, other: &Run) -> bool {
         self.procs.len() == other.procs.len()
-            && self
-                .procs
-                .iter()
-                .zip(&other.procs)
-                .all(|(a, b)| {
-                    a.wake_time == b.wake_time
-                        && a.initial_state == b.initial_state
-                        && a.clock == b.clock
-                })
+            && self.procs.iter().zip(&other.procs).all(|(a, b)| {
+                a.wake_time == b.wake_time
+                    && a.initial_state == b.initial_state
+                    && a.clock == b.clock
+            })
     }
 }
 
@@ -321,7 +317,10 @@ mod tests {
             .wake(a(1), 1, 4)
             .event(a(0), 1, send(1, 9))
             .build();
-        assert!(r1.same_initial_config_and_clocks(&r2), "events don't matter");
+        assert!(
+            r1.same_initial_config_and_clocks(&r2),
+            "events don't matter"
+        );
         let r3 = RunBuilder::new("c", 2, 2).wake(a(0), 0, 3).build();
         assert!(!r1.same_initial_config_and_clocks(&r3));
     }
@@ -356,6 +355,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "never wakes")]
     fn event_without_wake_panics() {
-        RunBuilder::new("r", 1, 2).event(a(0), 1, send(0, 1)).build();
+        RunBuilder::new("r", 1, 2)
+            .event(a(0), 1, send(0, 1))
+            .build();
     }
 }

@@ -129,15 +129,17 @@ impl System {
 
     /// Iterates over `(id, run)` pairs.
     pub fn runs(&self) -> impl Iterator<Item = (RunId, &Run)> {
-        self.runs.iter().enumerate().map(|(i, r)| (RunId::from(i), r))
+        self.runs
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (RunId::from(i), r))
     }
 
     /// Iterates over all points in canonical order (runs in order, times
     /// ascending).
     pub fn points(&self) -> impl Iterator<Item = Point> + '_ {
-        self.runs().flat_map(|(id, r)| {
-            (0..=r.horizon).map(move |t| Point::new(id, t))
-        })
+        self.runs()
+            .flat_map(|(id, r)| (0..=r.horizon).map(move |t| Point::new(id, t)))
     }
 }
 

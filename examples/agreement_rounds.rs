@@ -9,8 +9,7 @@
 //! agreement needs f + 1 rounds.
 
 use halpern_moses::core::agreement::{
-    agreement_interpreted, agreement_system, check_safety, ck_onset_in_clean_run,
-    AgreementSpec,
+    agreement_interpreted, agreement_system, check_safety, ck_onset_in_clean_run, AgreementSpec,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

@@ -9,8 +9,8 @@
 //! Corollary 6).
 
 use halpern_moses::core::puzzles::attack::{
-    classify_attack_rule, common_knowledge_of_dispatch, generals_interpreted,
-    ladder_depth_at_end, AttackRuleOutcome,
+    classify_attack_rule, common_knowledge_of_dispatch, generals_interpreted, ladder_depth_at_end,
+    AttackRuleOutcome,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

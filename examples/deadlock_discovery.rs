@@ -8,9 +8,7 @@
 //! (`S → E → C^T`). Plain common knowledge is out of reach; timestamped
 //! common knowledge is what the broadcast actually achieves.
 
-use halpern_moses::core::discovery::{
-    deadlock_system, discovery_trajectory, publication_stamp,
-};
+use halpern_moses::core::discovery::{deadlock_system, discovery_trajectory, publication_stamp};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let isys = deadlock_system(3, 12)?;
@@ -28,8 +26,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let traj = discovery_trajectory(&isys, &graph)?;
         println!("{label}:");
         println!("  D(deadlock) from t = {:?}", traj.d_onset);
-        println!("  S(deadlock) from t = {:?}   (the discovery)", traj.s_onset);
-        println!("  E(deadlock) from t = {:?}   (after the alarm)", traj.e_onset);
+        println!(
+            "  S(deadlock) from t = {:?}   (the discovery)",
+            traj.s_onset
+        );
+        println!(
+            "  E(deadlock) from t = {:?}   (after the alarm)",
+            traj.e_onset
+        );
         if traj.s_onset.is_some() {
             let stamp = publication_stamp(&isys, &graph)?;
             println!("  C^T(deadlock) publishable with timestamp T = {stamp:?}");

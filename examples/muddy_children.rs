@@ -16,9 +16,7 @@ fn main() {
         .unwrap_or(5);
     let mask: u64 = args
         .next()
-        .map(|s| {
-            u64::from_str_radix(s.trim_start_matches("0b"), 2).expect("mask must be binary")
-        })
+        .map(|s| u64::from_str_radix(s.trim_start_matches("0b"), 2).expect("mask must be binary"))
         .unwrap_or(0b10110 & ((1 << n) - 1));
     assert!(mask != 0 && mask < (1 << n), "mask must be non-zero, < 2^n");
 
@@ -47,10 +45,7 @@ fn main() {
     println!("\n== without the announcement ==");
     let trace = puzzle.run_without_announcement(mask);
     print_rounds(&trace.answers);
-    println!(
-        "first yes: {:?}  (paper: never)",
-        trace.first_yes_round()
-    );
+    println!("first yes: {:?}  (paper: never)", trace.first_yes_round());
 }
 
 fn print_rounds(answers: &[Vec<bool>]) {

@@ -12,7 +12,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("muddy children, n = 3, muddy = {{0, 2}}");
     for (q, round) in trace.answers.iter().enumerate() {
-        let answers: Vec<&str> = round.iter().map(|&a| if a { "yes" } else { "no" }).collect();
+        let answers: Vec<&str> = round
+            .iter()
+            .map(|&a| if a { "yes" } else { "no" })
+            .collect();
         println!("  question {}: {}", q + 1, answers.join(", "));
     }
     println!(

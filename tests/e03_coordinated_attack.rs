@@ -11,8 +11,8 @@
 
 use halpern_moses::core::attain::{check_ck_twin_invariance, check_proposition13, ck_set};
 use halpern_moses::core::puzzles::attack::{
-    classify_attack_rule, generals_attack_interpreted, generals_interpreted,
-    ladder_depth_at_end, proposition4_check, AttackRuleOutcome,
+    classify_attack_rule, generals_attack_interpreted, generals_interpreted, ladder_depth_at_end,
+    proposition4_check, AttackRuleOutcome,
 };
 use halpern_moses::kripke::{AgentGroup, AgentId};
 use halpern_moses::logic::Formula;
@@ -69,9 +69,7 @@ fn e4_theorem5_with_verified_hypothesis() {
         );
         assert!(ck_set(&isys, &g2(), &fact).unwrap().is_empty());
         assert!(
-            check_proposition13(&isys, &g2(), &fact)
-                .unwrap()
-                .is_empty(),
+            check_proposition13(&isys, &g2(), &fact).unwrap().is_empty(),
             "h={horizon}"
         );
     }

@@ -2,8 +2,7 @@
 //! (paper Section 8, Appendix B).
 
 use halpern_moses::core::attain::{
-    check_ck_run_constant, ck_set, initial_point_reachable_everywhere,
-    uncertain_start_interpreted,
+    check_ck_run_constant, ck_set, initial_point_reachable_everywhere, uncertain_start_interpreted,
 };
 use halpern_moses::core::puzzles::r2d2::{
     ck_sent, first_time, ladder_onsets, r2d2_interpreted, rd_ladder,
@@ -58,7 +57,10 @@ fn e6_ck_unattainable_in_window_for_all_eps() {
         let last_send = (pre + post) as u64 * eps;
         for (rid, _) in analysis.isys.system().runs() {
             for t in 0..last_send {
-                assert!(!ck.contains(analysis.isys.world(rid, t)), "eps={eps} {rid} t={t}");
+                assert!(
+                    !ck.contains(analysis.isys.world(rid, t)),
+                    "eps={eps} {rid} t={t}"
+                );
             }
         }
     }
@@ -119,14 +121,8 @@ fn e7_shift_witnesses_in_clockless_family() {
     for (_, run) in sys.runs() {
         for t in 1..=run.horizon {
             for (i, j) in [(0usize, 1usize), (1, 0)] {
-                if conditions::shift_witness(
-                    sys,
-                    run,
-                    t,
-                    hm_kripke_agent(i),
-                    hm_kripke_agent(j),
-                )
-                .is_some()
+                if conditions::shift_witness(sys, run, t, hm_kripke_agent(i), hm_kripke_agent(j))
+                    .is_some()
                 {
                     found += 1;
                 }

@@ -126,8 +126,7 @@ fn e8_ceps_strictly_weaker_than_c() {
     let last_send = (pre + post) as u64 * eps;
     // C^ε holds at the focus run shortly after the send…
     let focus = analysis.meta.focus_slow;
-    let hit = (0..last_send)
-        .any(|t| ceps.contains(analysis.isys.world(focus, t)));
+    let hit = (0..last_send).any(|t| ceps.contains(analysis.isys.world(focus, t)));
     assert!(hit, "C^ε sent should be attained in the window");
     // …where C never does.
     for t in 0..last_send {
@@ -251,10 +250,7 @@ fn e12_weak_converse_shape() {
     let c = sync.eval(&Formula::common(g2(), fact.clone())).unwrap();
     assert!(!c.is_empty(), "C is attainable with a global clock");
     for stamp in 0..=9u64 {
-        assert_eq!(
-            check_theorem12a(&sync, &g2(), &fact, stamp).unwrap(),
-            None
-        );
+        assert_eq!(check_theorem12a(&sync, &g2(), &fact, stamp).unwrap(), None);
     }
 }
 

@@ -28,7 +28,10 @@ fn e15_every_cyclic_graph_is_discovered_no_acyclic_one_is() {
                 traj.s_onset.is_some(),
                 "cyclic graph {targets:?} undiscovered"
             );
-            assert!(traj.e_onset.is_some(), "cyclic graph {targets:?} unpublished");
+            assert!(
+                traj.e_onset.is_some(),
+                "cyclic graph {targets:?} unpublished"
+            );
         } else {
             acyclic += 1;
             assert_eq!(traj.s_onset, None, "false positive on {targets:?}");
@@ -66,10 +69,8 @@ fn e17_kbp_agrees_with_direct_simulation_for_all_masks() {
                 "n={n} mask={mask:b}"
             );
             for (q, round) in direct.answers.iter().enumerate() {
-                let kbp_round: Vec<bool> = kbp.actions[q]
-                    .iter()
-                    .map(|a| a.unwrap_or(false))
-                    .collect();
+                let kbp_round: Vec<bool> =
+                    kbp.actions[q].iter().map(|a| a.unwrap_or(false)).collect();
                 assert_eq!(&kbp_round, round, "n={n} mask={mask:b} round={q}");
             }
         }
@@ -83,8 +84,7 @@ fn e17_round_robin_always_terminates_with_someone_knowing() {
     let n = 4;
     let p = MuddyChildren::new(n);
     let sets: Vec<WorldSet> = (0..n).map(|i| p.muddy_set(i)).collect();
-    let protocol =
-        KnowledgeProtocol::new(p.model(), Turns::RoundRobin, knows_own_state_rule(sets));
+    let protocol = KnowledgeProtocol::new(p.model(), Turns::RoundRobin, knows_own_state_rule(sets));
     for mask in 1..(1u64 << n) {
         let trace = protocol.run(p.world(mask), Some(&p.m_set()), 2 * n);
         assert!(

@@ -23,14 +23,12 @@ fn a(i: usize) -> AgentId {
 fn msg_runs() -> Vec<halpern_moses::runs::Run> {
     let msg = Message::tagged(1);
     // Two sends of the same message vs one send vs none.
-    let mut runs = vec![
-        RunBuilder::new("twice", 2, 4)
-            .wake(a(0), 0, 0)
-            .wake(a(1), 0, 0)
-            .event(a(0), 1, Event::Send { to: a(1), msg })
-            .event(a(0), 2, Event::Send { to: a(1), msg })
-            .build(),
-    ];
+    let mut runs = vec![RunBuilder::new("twice", 2, 4)
+        .wake(a(0), 0, 0)
+        .wake(a(1), 0, 0)
+        .event(a(0), 1, Event::Send { to: a(1), msg })
+        .event(a(0), 2, Event::Send { to: a(1), msg })
+        .build()];
     runs.push(
         RunBuilder::new("once", 2, 4)
             .wake(a(0), 0, 0)

@@ -19,18 +19,25 @@ fn formula_strategy() -> impl Strategy<Value = F> {
     leaf.prop_recursive(5, 64, 3, |inner| {
         prop_oneof![
             inner.clone().prop_map(Formula::not),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Formula::and([a, b])),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::and([a, b])),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::or([a, b])),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Formula::implies(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::implies(a, b)),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::iff(a, b)),
             (0usize..2, inner.clone()).prop_map(|(i, a)| Formula::knows(AgentId::new(i), a)),
-            (1u32..4, inner.clone())
-                .prop_map(|(k, a)| Formula::everyone_k(AgentGroup::all(2), k, a)),
-            inner.clone().prop_map(|a| Formula::someone(AgentGroup::all(2), a)),
-            inner.clone().prop_map(|a| Formula::distributed(AgentGroup::all(2), a)),
-            inner.clone().prop_map(|a| Formula::common(AgentGroup::all(2), a)),
+            (1u32..4, inner.clone()).prop_map(|(k, a)| Formula::everyone_k(
+                AgentGroup::all(2),
+                k,
+                a
+            )),
+            inner
+                .clone()
+                .prop_map(|a| Formula::someone(AgentGroup::all(2), a)),
+            inner
+                .clone()
+                .prop_map(|a| Formula::distributed(AgentGroup::all(2), a)),
+            inner
+                .clone()
+                .prop_map(|a| Formula::common(AgentGroup::all(2), a)),
         ]
     })
 }
@@ -180,11 +187,7 @@ impl Frame for WithAtom<'_> {
             Frame::atom_set(self.inner, name)
         }
     }
-    fn knowledge_set(
-        &self,
-        i: halpern_moses::kripke::AgentId,
-        a: &WorldSet,
-    ) -> WorldSet {
+    fn knowledge_set(&self, i: halpern_moses::kripke::AgentId, a: &WorldSet) -> WorldSet {
         self.inner.knowledge(i, a)
     }
     fn distributed_set(&self, g: &AgentGroup, a: &WorldSet) -> WorldSet {
@@ -204,10 +207,18 @@ fn positive_context() -> impl Strategy<Value = F> {
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::and([a, b])),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::or([a, b])),
             (0usize..2, inner.clone()).prop_map(|(i, a)| Formula::knows(AgentId::new(i), a)),
-            inner.clone().prop_map(|a| Formula::everyone(AgentGroup::all(2), a)),
-            inner.clone().prop_map(|a| Formula::someone(AgentGroup::all(2), a)),
-            inner.clone().prop_map(|a| Formula::common(AgentGroup::all(2), a)),
-            inner.clone().prop_map(|a| Formula::distributed(AgentGroup::all(2), a)),
+            inner
+                .clone()
+                .prop_map(|a| Formula::everyone(AgentGroup::all(2), a)),
+            inner
+                .clone()
+                .prop_map(|a| Formula::someone(AgentGroup::all(2), a)),
+            inner
+                .clone()
+                .prop_map(|a| Formula::common(AgentGroup::all(2), a)),
+            inner
+                .clone()
+                .prop_map(|a| Formula::distributed(AgentGroup::all(2), a)),
             // Negative material only in the antecedent-free spots:
             inner
                 .clone()

@@ -6,9 +6,9 @@ use halpern_moses::netsim::{
     enumerate_runs, Command, ExecutionSpec, FnProtocol, LocalView, LossyFixedDelay,
     SynchronousDelay, UnboundedDelay,
 };
-use halpern_moses::runs::Message;
 use halpern_moses::runs::conditions::extends;
 use halpern_moses::runs::Event;
+use halpern_moses::runs::Message;
 use proptest::prelude::*;
 
 /// p0 sends `count` messages, one per tick, starting at its first step.
