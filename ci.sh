@@ -11,3 +11,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 # Tier-1 verify (must match ROADMAP.md).
 cargo build --release
 cargo test -q
+
+# Bench smoke: every benchmark runs once (1 sample x 1 iter, no summary
+# file written), so bench code cannot bit-rot without failing CI.
+HM_CRITERION_SMOKE=1 cargo bench -p hm-bench

@@ -17,9 +17,17 @@
 //!
 //! Measurement model, kept deliberately simple:
 //!
-//! 1. warm up and estimate the per-iteration cost;
+//! 1. run a **fixed warmup phase** (~100 ms) so caches, branch predictors
+//!    and frequency scaling settle before anything is recorded, and use it
+//!    to estimate the per-iteration cost;
 //! 2. pick an iteration count so one sample takes ≳2 ms;
-//! 3. take `sample_size` samples and record per-iteration statistics.
+//! 3. take `sample_size` samples and record per-iteration statistics —
+//!    mean, **median**, min and max (the median is robust against the
+//!    occasional preempted sample, which can inflate `max/min` past 3×).
+//!
+//! Setting `HM_CRITERION_SMOKE` (to any value) switches to a smoke mode
+//! for CI: no warmup, one sample of one iteration per benchmark, and no
+//! summary file — it only proves the bench code still runs.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -38,11 +46,21 @@ pub fn black_box<T>(x: T) -> T {
 /// Target duration of one measured sample.
 const TARGET_SAMPLE_NANOS: f64 = 2_000_000.0;
 
+/// Duration of the fixed warmup phase preceding sampling.
+const WARMUP_NANOS: u128 = 100_000_000;
+
+/// `true` when the CI smoke mode is active (see the crate docs).
+fn smoke_mode() -> bool {
+    std::env::var_os("HM_CRITERION_SMOKE").is_some()
+}
+
 /// Statistics for one benchmark id, in nanoseconds per iteration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Stats {
     /// Mean over all samples.
     pub mean_ns: f64,
+    /// Median over all samples (robust against preempted samples).
+    pub median_ns: f64,
     /// Fastest sample.
     pub min_ns: f64,
     /// Slowest sample.
@@ -105,10 +123,11 @@ impl Criterion {
             .stats
             .unwrap_or_else(|| panic!("benchmark `{id}` never called Bencher::iter"));
         println!(
-            "{id:<44} time: [{} {} {}] ({} samples x {} iters)",
+            "{id:<44} time: [{} {} {}] median {} ({} samples x {} iters)",
             fmt_ns(stats.min_ns),
             fmt_ns(stats.mean_ns),
             fmt_ns(stats.max_ns),
+            fmt_ns(stats.median_ns),
             stats.samples,
             stats.iters_per_sample,
         );
@@ -119,7 +138,7 @@ impl Criterion {
 impl Drop for Criterion {
     /// Flushes results into the JSON summary when the group finishes.
     fn drop(&mut self) {
-        if self.results.is_empty() {
+        if self.results.is_empty() || smoke_mode() {
             return;
         }
         let path = summary_path();
@@ -226,13 +245,31 @@ impl Bencher {
     where
         F: FnMut() -> O,
     {
-        // Warm-up and per-iteration estimate: run until 1 ms has passed.
+        if smoke_mode() {
+            // CI smoke: prove the benchmark runs, measure nothing.
+            let start = Instant::now();
+            black_box(f());
+            let ns = start.elapsed().as_nanos() as f64;
+            self.stats = Some(Stats {
+                mean_ns: ns,
+                median_ns: ns,
+                min_ns: ns,
+                max_ns: ns,
+                samples: 1,
+                iters_per_sample: 1,
+            });
+            return;
+        }
+        // Fixed warmup phase, doubling as the per-iteration estimate. The
+        // iteration cap is only a backstop against a broken clock; even
+        // nanosecond-scale benches must get the full wall-clock warmup —
+        // they are exactly the ones whose max/min instability motivated it.
         let warmup = Instant::now();
         let mut warmup_iters: u64 = 0;
         loop {
             black_box(f());
             warmup_iters += 1;
-            if warmup.elapsed().as_nanos() >= 1_000_000 || warmup_iters >= 10_000 {
+            if warmup.elapsed().as_nanos() >= WARMUP_NANOS || warmup_iters >= 1_000_000_000 {
                 break;
             }
         }
@@ -250,8 +287,16 @@ impl Bencher {
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
         let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = samples.iter().cloned().fold(0.0_f64, f64::max);
+        let mut sorted = samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        let median = if sorted.len() % 2 == 1 {
+            sorted[sorted.len() / 2]
+        } else {
+            (sorted[sorted.len() / 2 - 1] + sorted[sorted.len() / 2]) / 2.0
+        };
         self.stats = Some(Stats {
             mean_ns: mean,
+            median_ns: median,
             min_ns: min,
             max_ns: max,
             samples: samples.len(),
@@ -323,6 +368,9 @@ fn read_summary(text: &str) -> BTreeMap<String, Stats> {
                 id.to_string(),
                 Stats {
                     mean_ns: mean,
+                    // Summaries predating the median field fall back to
+                    // the mean rather than being dropped.
+                    median_ns: field("median_ns").unwrap_or(mean),
                     min_ns: min,
                     max_ns: max,
                     samples: samples as usize,
@@ -339,8 +387,9 @@ fn render_summary(benches: &BTreeMap<String, Stats>) -> String {
     let n = benches.len();
     for (i, (id, st)) in benches.iter().enumerate() {
         s.push_str(&format!(
-            "\"{id}\": {{\"mean_ns\": {:.2}, \"min_ns\": {:.2}, \"max_ns\": {:.2}, \"samples\": {}, \"iters_per_sample\": {}}}{}\n",
+            "\"{id}\": {{\"mean_ns\": {:.2}, \"median_ns\": {:.2}, \"min_ns\": {:.2}, \"max_ns\": {:.2}, \"samples\": {}, \"iters_per_sample\": {}}}{}\n",
             st.mean_ns,
+            st.median_ns,
             st.min_ns,
             st.max_ns,
             st.samples,

@@ -226,10 +226,37 @@ impl KripkeModel {
     /// characterisation — `C_G A` holds at `w` iff `A` holds at every world
     /// G-reachable from `w` in finitely many steps (Section 6).
     ///
+    /// Rather than materialising the reachability partition (pairwise
+    /// joins with a fresh partition per agent), this runs a BFS from `¬A`
+    /// over the union of the group's indistinguishability relations: a
+    /// world fails `C_G A` iff it can reach a `¬A` world. The frontier
+    /// advances one whole relation at a time — each sweep absorbs every
+    /// block touching the closure so far, word-wise for large blocks — and
+    /// each `(agent, block)` pair is absorbed at most once overall.
+    ///
     /// [`common_knowledge_gfp`](Self::common_knowledge_gfp) computes the same
     /// set from the fixed-point definition; tests assert they agree.
     pub fn common_knowledge(&self, g: &AgentGroup, a: &WorldSet) -> WorldSet {
-        self.reachability_partition(g).knowledge(a)
+        assert_eq!(a.universe_len(), self.num_worlds, "universe mismatch");
+        let mut closed = a.complement();
+        if closed.is_empty() {
+            return self.full_set();
+        }
+        let agents: Vec<&Partition> = g.iter().map(|i| &self.partitions[i.index()]).collect();
+        let mut done: Vec<Vec<bool>> = agents.iter().map(|p| vec![false; p.num_blocks()]).collect();
+        let mut scratch = self.empty_set();
+        let mut grew = true;
+        let mut forward = true;
+        while grew {
+            grew = false;
+            for (gi, p) in agents.iter().enumerate() {
+                grew |= p.absorb_touched_blocks(&mut closed, &mut done[gi], &mut scratch, forward);
+            }
+            // Alternate scan direction so block chains ordered against one
+            // direction still close in O(1) sweeps.
+            forward = !forward;
+        }
+        closed.complement()
     }
 
     /// `C_G(A)` as the greatest fixed point of `X ↦ E_G(A ∩ X)` (the
@@ -371,6 +398,19 @@ impl ModelBuilder {
     pub fn add_world(&mut self, label: impl Into<String>) -> WorldId {
         let id = WorldId::new(self.world_labels.len());
         self.world_labels.push(label.into());
+        id
+    }
+
+    /// Bulk-adds `count` unlabelled worlds and returns the id of the first.
+    ///
+    /// Empty labels cost nothing to store; callers that need diagnostic
+    /// names for these worlds (e.g. interpreted systems, whose worlds are
+    /// points `run@t`) keep their own lazy name scheme instead of paying a
+    /// `format!` per world at build time.
+    pub fn add_worlds(&mut self, count: usize) -> WorldId {
+        let id = WorldId::new(self.world_labels.len());
+        self.world_labels
+            .extend(std::iter::repeat_with(String::new).take(count));
         id
     }
 

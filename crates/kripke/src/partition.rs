@@ -29,8 +29,12 @@ use std::hash::Hash;
 pub struct Partition {
     /// `block_of[w]` is the block containing world `w`.
     block_of: Vec<u32>,
-    /// Members of each block, each list sorted ascending.
-    members: Vec<Vec<u32>>,
+    /// Flat member storage (CSR layout): the members of block `b` are
+    /// `member_data[starts[b]..starts[b+1]]`, sorted ascending. One arena
+    /// for all blocks — no per-block allocation, sequential scans.
+    member_data: Vec<u32>,
+    /// Block boundaries into `member_data`; length `num_blocks + 1`.
+    starts: Vec<u32>,
 }
 
 impl Partition {
@@ -39,7 +43,8 @@ impl Partition {
     pub fn discrete(n: usize) -> Self {
         Partition {
             block_of: (0..n as u32).collect(),
-            members: (0..n as u32).map(|w| vec![w]).collect(),
+            member_data: (0..n as u32).collect(),
+            starts: (0..=n as u32).collect(),
         }
     }
 
@@ -51,12 +56,14 @@ impl Partition {
         if n == 0 {
             return Partition {
                 block_of: vec![],
-                members: vec![],
+                member_data: vec![],
+                starts: vec![0],
             };
         }
         Partition {
             block_of: vec![0; n],
-            members: vec![(0..n as u32).collect()],
+            member_data: (0..n as u32).collect(),
+            starts: vec![0, n as u32],
         }
     }
 
@@ -71,18 +78,77 @@ impl Partition {
     {
         let mut block_ids: HashMap<K, u32> = HashMap::new();
         let mut block_of = Vec::with_capacity(n);
-        let mut members: Vec<Vec<u32>> = Vec::new();
+        let mut num_blocks = 0u32;
         for w in 0..n {
             let k = key(WorldId::new(w));
-            let next = members.len() as u32;
-            let b = *block_ids.entry(k).or_insert(next);
-            if b == next {
-                members.push(Vec::new());
-            }
+            let b = *block_ids.entry(k).or_insert_with(|| {
+                let fresh = num_blocks;
+                num_blocks += 1;
+                fresh
+            });
             block_of.push(b);
-            members[b as usize].push(w as u32);
         }
-        Partition { block_of, members }
+        Partition::from_canonical_labels(block_of, num_blocks)
+    }
+
+    /// Builds a partition from pre-interned dense keys (e.g. view ids from
+    /// a `ViewInterner`), without hashing: `keys[w]` is any integer label,
+    /// `num_keys` an exclusive upper bound on the labels.
+    ///
+    /// Blocks are renumbered canonically (first-seen order of world index),
+    /// so the result is identical to `from_key(n, |w| keys[w.index()])` —
+    /// in O(n + num_keys) time and with no hash table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys.len() != n` or some key is `>= num_keys`.
+    pub fn from_dense_keys(n: usize, keys: &[u32], num_keys: usize) -> Self {
+        assert_eq!(keys.len(), n, "one key per world");
+        let mut remap = vec![u32::MAX; num_keys];
+        let mut block_of = Vec::with_capacity(n);
+        let mut num_blocks = 0u32;
+        for &k in keys {
+            let slot = &mut remap[k as usize];
+            if *slot == u32::MAX {
+                *slot = num_blocks;
+                num_blocks += 1;
+            }
+            block_of.push(*slot);
+        }
+        Partition::from_canonical_labels(block_of, num_blocks)
+    }
+
+    /// Finishes construction from canonical block labels: `block_of[w]` is
+    /// already dense (`0..num_blocks`) and in first-seen world order.
+    /// The CSR member arena is built by a counting pass — O(n + num_blocks)
+    /// and exactly two allocations, however many blocks there are.
+    fn from_canonical_labels(block_of: Vec<u32>, num_blocks: u32) -> Self {
+        let nb = num_blocks as usize;
+        let mut starts = vec![0u32; nb + 1];
+        for &b in &block_of {
+            starts[b as usize + 1] += 1;
+        }
+        for i in 0..nb {
+            starts[i + 1] += starts[i];
+        }
+        let mut cursor = starts.clone();
+        let mut member_data = vec![0u32; block_of.len()];
+        for (w, &b) in block_of.iter().enumerate() {
+            let c = &mut cursor[b as usize];
+            member_data[*c as usize] = w as u32;
+            *c += 1;
+        }
+        Partition {
+            block_of,
+            member_data,
+            starts,
+        }
+    }
+
+    /// The members of block `b` as a sorted slice of world indices.
+    #[inline]
+    fn block_slice(&self, b: usize) -> &[u32] {
+        &self.member_data[self.starts[b] as usize..self.starts[b + 1] as usize]
     }
 
     /// Builds a partition from explicit pairs, closing under reflexivity,
@@ -106,7 +172,7 @@ impl Partition {
 
     /// Number of blocks.
     pub fn num_blocks(&self) -> usize {
-        self.members.len()
+        self.starts.len() - 1
     }
 
     /// The block containing `w`.
@@ -121,7 +187,9 @@ impl Partition {
 
     /// The members of block `b`, sorted ascending.
     pub fn block_members(&self, b: usize) -> impl Iterator<Item = WorldId> + '_ {
-        self.members[b].iter().map(|&w| WorldId::new(w as usize))
+        self.block_slice(b)
+            .iter()
+            .map(|&w| WorldId::new(w as usize))
     }
 
     /// `true` iff `a` and `b` are indistinguishable (same block).
@@ -136,7 +204,7 @@ impl Partition {
     pub fn knowledge(&self, a: &WorldSet) -> WorldSet {
         assert_eq!(a.universe_len(), self.num_worlds(), "universe mismatch");
         let mut out = WorldSet::empty(self.num_worlds());
-        'blocks: for block in &self.members {
+        'blocks: for block in self.blocks() {
             for &w in block {
                 if !a.contains(WorldId::new(w as usize)) {
                     continue 'blocks;
@@ -154,14 +222,14 @@ impl Partition {
     /// `A` possible. Satisfies `P(A) = ¬K(¬A)`.
     pub fn possibility(&self, a: &WorldSet) -> WorldSet {
         assert_eq!(a.universe_len(), self.num_worlds(), "universe mismatch");
-        let mut touched = vec![false; self.members.len()];
+        let mut touched = vec![false; self.num_blocks()];
         for w in a.iter() {
             touched[self.block_of(w)] = true;
         }
         let mut out = WorldSet::empty(self.num_worlds());
         for (b, &t) in touched.iter().enumerate() {
             if t {
-                for &w in &self.members[b] {
+                for &w in self.block_slice(b) {
                     out.insert(WorldId::new(w as usize));
                 }
             }
@@ -174,28 +242,78 @@ impl Partition {
     ///
     /// The joint view of a group (distributed knowledge, clause (g)) is the
     /// meet of its members' partitions.
+    ///
+    /// Runs in O(n + num_blocks) with no hashing: worlds are scanned one
+    /// block of `self` at a time, and a stamp array indexed by `other`'s
+    /// block ids splits each block in place. The block numbering is the
+    /// canonical (first-seen world order) one, identical to what
+    /// [`from_key`](Self::from_key) over `(self.block_of, other.block_of)`
+    /// pairs would produce.
     pub fn meet(&self, other: &Partition) -> Partition {
         assert_eq!(self.num_worlds(), other.num_worlds(), "universe mismatch");
-        Partition::from_key(self.num_worlds(), |w| (self.block_of(w), other.block_of(w)))
+        let n = self.num_worlds();
+        // stamp[b2] == current self-block id marks "pair (b1, b2) seen";
+        // pair_id[b2] is then the label assigned to that pair.
+        let mut stamp = vec![u32::MAX; other.num_blocks()];
+        let mut pair_id = vec![0u32; other.num_blocks()];
+        let mut labels = vec![0u32; n];
+        let mut num_pairs = 0u32;
+        for (b1, block) in self.blocks().enumerate() {
+            for &w in block {
+                let b2 = other.block_of[w as usize] as usize;
+                if stamp[b2] != b1 as u32 {
+                    stamp[b2] = b1 as u32;
+                    pair_id[b2] = num_pairs;
+                    num_pairs += 1;
+                }
+                labels[w as usize] = pair_id[b2];
+            }
+        }
+        // The labels above are dense but assigned in block-scan order, not
+        // world order; one more pass renumbers them canonically.
+        let mut remap = vec![u32::MAX; num_pairs as usize];
+        let mut num_blocks = 0u32;
+        for l in &mut labels {
+            let slot = &mut remap[*l as usize];
+            if *slot == u32::MAX {
+                *slot = num_blocks;
+                num_blocks += 1;
+            }
+            *l = *slot;
+        }
+        Partition::from_canonical_labels(labels, num_blocks)
     }
 
     /// The join (finest common coarsening) of two partitions: the
     /// equivalence closure of the union of the two relations.
     ///
     /// The join over a group G's partitions gives *G-reachability*, i.e. the
-    /// common-knowledge relation of Section 6.
+    /// common-knowledge relation of Section 6. Computed by union–find over
+    /// world indices followed by a dense canonical relabelling — no hashing.
     pub fn join(&self, other: &Partition) -> Partition {
         assert_eq!(self.num_worlds(), other.num_worlds(), "universe mismatch");
         let n = self.num_worlds();
         let mut uf = UnionFind::new(n);
         for p in [self, other] {
-            for block in &p.members {
+            for block in p.blocks() {
                 for pair in block.windows(2) {
                     uf.union(pair[0] as usize, pair[1] as usize);
                 }
             }
         }
-        Partition::from_key(n, |w| uf.find(w.index()))
+        let mut remap = vec![u32::MAX; n];
+        let mut labels = Vec::with_capacity(n);
+        let mut num_blocks = 0u32;
+        for w in 0..n {
+            let root = uf.find(w);
+            let slot = &mut remap[root];
+            if *slot == u32::MAX {
+                *slot = num_blocks;
+                num_blocks += 1;
+            }
+            labels.push(*slot);
+        }
+        Partition::from_canonical_labels(labels, num_blocks)
     }
 
     /// `true` iff `self` refines `other` (every block of `self` is contained
@@ -203,7 +321,7 @@ impl Partition {
     /// as much information.
     pub fn refines(&self, other: &Partition) -> bool {
         assert_eq!(self.num_worlds(), other.num_worlds(), "universe mismatch");
-        self.members.iter().all(|block| {
+        self.blocks().all(|block| {
             let mut it = block.iter().map(|&w| other.block_of[w as usize]);
             match it.next() {
                 None => true,
@@ -227,7 +345,59 @@ impl Partition {
 
     /// Iterates over the blocks as sorted member slices.
     pub fn blocks(&self) -> impl Iterator<Item = &[u32]> + '_ {
-        self.members.iter().map(|m| m.as_slice())
+        (0..self.num_blocks()).map(|b| self.block_slice(b))
+    }
+
+    /// One sweep of the reachability closure (the frontier of the
+    /// common-knowledge BFS, advanced a whole relation at a time): every
+    /// block not yet absorbed that touches `closed` is unioned into it and
+    /// marked `done`. Blocks spanning many worlds are merged word-wise via
+    /// `scratch` (must be empty on entry; left empty on exit); small
+    /// blocks insert member-by-member. Returns whether `closed` grew.
+    ///
+    /// `forward` sets the scan direction. Callers alternate it between
+    /// sweeps: a chain of blocks ordered against one direction would
+    /// otherwise absorb a single block per sweep (quadratic); alternating
+    /// collapses monotone chains to O(1) sweeps either way.
+    pub(crate) fn absorb_touched_blocks(
+        &self,
+        closed: &mut WorldSet,
+        done: &mut [bool],
+        scratch: &mut WorldSet,
+        forward: bool,
+    ) -> bool {
+        let mut grew = false;
+        let nb = done.len();
+        for k in 0..nb {
+            let b = if forward { k } else { nb - 1 - k };
+            if done[b] {
+                continue;
+            }
+            let members = self.block_slice(b);
+            if !members
+                .iter()
+                .any(|&m| closed.contains(WorldId::new(m as usize)))
+            {
+                continue;
+            }
+            done[b] = true;
+            if members.len() < 64 {
+                for &m in members {
+                    grew |= closed.insert(WorldId::new(m as usize));
+                }
+            } else {
+                for &m in members {
+                    scratch.insert(WorldId::new(m as usize));
+                }
+                let mut added = false;
+                closed.union_with_diff(scratch, |_| added = true);
+                grew |= added;
+                for &m in members {
+                    scratch.remove(WorldId::new(m as usize));
+                }
+            }
+        }
+        grew
     }
 }
 

@@ -195,6 +195,23 @@ impl WorldSet {
         }
     }
 
+    /// In-place union that reports the worlds *newly added* by it, one
+    /// machine word at a time (`on_new` receives each world of
+    /// `other \ self`). This is the word-wise kernel of the frontier BFS
+    /// used by the common-knowledge reachability engine.
+    pub fn union_with_diff(&mut self, other: &WorldSet, mut on_new: impl FnMut(WorldId)) {
+        self.check_universe(other);
+        for (i, (a, b)) in self.words.iter_mut().zip(&other.words).enumerate() {
+            let mut fresh = b & !*a;
+            *a |= b;
+            while fresh != 0 {
+                let bit = fresh.trailing_zeros() as usize;
+                fresh &= fresh - 1;
+                on_new(WorldId::new(i * BITS + bit));
+            }
+        }
+    }
+
     /// In-place intersection.
     pub fn intersect_with(&mut self, other: &WorldSet) {
         self.check_universe(other);

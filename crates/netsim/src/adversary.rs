@@ -32,6 +32,11 @@ pub trait Adversary {
     ///
     /// Returning an empty vector is an error (the executor panics): every
     /// message needs at least one outcome, if only [`Outcome::Lost`].
+    ///
+    /// Listing the same outcome twice is allowed but pointless: identical
+    /// outcomes provably yield identical views at every point, so the
+    /// enumerator deduplicates the list (keeping first occurrences) before
+    /// branching rather than enumerating the same run twice.
     fn outcomes(
         &self,
         send_index: usize,

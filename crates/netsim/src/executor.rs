@@ -109,31 +109,45 @@ impl fmt::Display for EnumerateError {
 
 impl std::error::Error for EnumerateError {}
 
-enum ExecOutcome {
-    Complete(Run),
-    NeedChoice { num_options: usize },
+/// The medium's choice for one message, as recorded in run names:
+/// `d{delta}` for a delivery `delta` ticks after the send, `x` for a loss.
+#[derive(Debug, Clone, Copy)]
+enum OutcomeLabel {
+    Delivered(u64),
+    Lost,
 }
 
-/// Executes the protocol under one fully-resolved adversary choice vector,
-/// or reports how many options the next unresolved choice has.
-fn execute(
-    protocol: &dyn JointProtocol,
-    adversary: &dyn Adversary,
-    spec: &ExecutionSpec,
-    choices: &[usize],
-) -> ExecOutcome {
-    let n = spec.num_procs;
-    let mut events: Vec<Vec<TimedEvent>> = vec![Vec::new(); n];
-    // (deliver_time, recipient, sender, msg, send_seq) — kept sorted by
-    // (deliver_time, send_seq) via insertion scan at delivery.
-    let mut pending: Vec<(u64, usize, usize, hm_runs::Message, usize)> = Vec::new();
-    let mut send_count = 0usize;
-    let mut outcome_labels: Vec<String> = Vec::new();
+/// One branch's simulation state. The DFS enumerator owns a single `Sim`
+/// per branch and **clones it only at adversary choice points** — the
+/// shared prefix of two runs is simulated exactly once, never replayed.
+#[derive(Debug, Clone)]
+struct Sim {
+    /// Per-processor event log so far (times nondecreasing by
+    /// construction: deliveries, then steps, tick by tick).
+    events: Vec<Vec<TimedEvent>>,
+    /// In-flight messages: (deliver_time, recipient, sender, msg, send_seq).
+    pending: Vec<(u64, usize, usize, hm_runs::Message, usize)>,
+    /// Messages sent so far (the adversary's `send_index` counter).
+    send_count: usize,
+    /// The adversary's choice per message, for the run name.
+    labels: Vec<OutcomeLabel>,
+}
 
-    for t in 0..=spec.horizon {
-        // Deliver messages scheduled for t, in send order.
-        let mut due: Vec<_> = Vec::new();
-        pending.retain(|entry| {
+impl Sim {
+    fn new(num_procs: usize) -> Self {
+        Sim {
+            events: vec![Vec::new(); num_procs],
+            pending: Vec::new(),
+            send_count: 0,
+            labels: Vec::new(),
+        }
+    }
+
+    /// Moves messages scheduled for `t` from `pending` into the
+    /// recipients' logs, in send order.
+    fn deliver_due(&mut self, t: u64, due: &mut Vec<(u64, usize, usize, hm_runs::Message, usize)>) {
+        due.clear();
+        self.pending.retain(|entry| {
             if entry.0 == t {
                 due.push(*entry);
                 false
@@ -142,8 +156,8 @@ fn execute(
             }
         });
         due.sort_by_key(|e| e.4);
-        for (_, to, from, msg, _) in due {
-            events[to].push(TimedEvent::new(
+        for &(_, to, from, msg, _) in due.iter() {
+            self.events[to].push(TimedEvent::new(
                 t,
                 Event::Recv {
                     from: AgentId::new(from),
@@ -151,105 +165,228 @@ fn execute(
                 },
             ));
         }
-        // Step each awake processor in id order.
-        for i in 0..n {
-            if t < spec.wake_times[i] {
-                continue;
+    }
+
+    /// Applies one resolved adversary outcome for the message described by
+    /// `send`, within a run truncated at `horizon`.
+    fn apply_outcome(&mut self, outcome: Outcome, send: &SendCtx, horizon: u64) {
+        let &SendCtx {
+            t,
+            from,
+            to,
+            msg,
+            seq,
+        } = send;
+        match outcome {
+            Outcome::Delivered(d) => {
+                assert!(
+                    d >= t && d <= horizon,
+                    "adversary chose out-of-range delivery {d}"
+                );
+                self.labels.push(OutcomeLabel::Delivered(d - t));
+                if d == t {
+                    // Same-tick delivery: visible from t+1.
+                    self.events[to.index()].push(TimedEvent::new(
+                        t,
+                        Event::Recv {
+                            from: AgentId::new(from),
+                            msg,
+                        },
+                    ));
+                } else {
+                    self.pending.push((d, to.index(), from, msg, seq));
+                }
             }
-            let seen: Vec<SeenEvent> = events[i]
-                .iter()
-                .take_while(|e| e.time < t)
-                .map(|e| SeenEvent {
-                    event: e.event,
-                    clock: spec.clocks.reading(i, e.time),
-                })
-                .collect();
-            let view = LocalView {
-                me: AgentId::new(i),
-                num_procs: n,
-                initial_state: spec.initial_states[i],
-                clock: spec.clocks.reading(i, t),
-                events: &seen,
-            };
-            for cmd in protocol.step(&view) {
-                match cmd {
-                    Command::Act { action, data } => {
-                        events[i].push(TimedEvent::new(t, Event::Act { action, data }));
-                    }
-                    Command::Send { to, msg } => {
-                        events[i].push(TimedEvent::new(t, Event::Send { to, msg }));
-                        let options = adversary.outcomes(
-                            send_count,
-                            t,
-                            AgentId::new(i),
-                            to,
-                            &msg,
-                            spec.horizon,
-                        );
-                        assert!(
-                            !options.is_empty(),
-                            "adversary returned no outcomes for message {send_count}"
-                        );
-                        let Some(&pick) = choices.get(send_count) else {
-                            return ExecOutcome::NeedChoice {
-                                num_options: options.len(),
-                            };
-                        };
-                        match options[pick] {
-                            Outcome::Delivered(d) => {
-                                assert!(
-                                    d >= t && d <= spec.horizon,
-                                    "adversary chose out-of-range delivery {d}"
-                                );
-                                outcome_labels.push(format!("d{}", d - t));
-                                if d == t {
-                                    // Same-tick delivery: visible from t+1.
-                                    events[to.index()].push(TimedEvent::new(
-                                        t,
-                                        Event::Recv {
-                                            from: AgentId::new(i),
-                                            msg,
-                                        },
-                                    ));
-                                } else {
-                                    pending.push((d, to.index(), i, msg, send_count));
-                                }
-                            }
-                            Outcome::Lost => outcome_labels.push("x".into()),
+            Outcome::Lost => self.labels.push(OutcomeLabel::Lost),
+        }
+    }
+}
+
+/// The coordinates of one sent message: when, who, to whom, what, and its
+/// global sequence number.
+#[derive(Debug, Clone, Copy)]
+struct SendCtx {
+    t: u64,
+    from: usize,
+    to: AgentId,
+    msg: hm_runs::Message,
+    seq: usize,
+}
+
+/// The depth-first enumerator: shared scratch plus the accumulating run
+/// list, so branches reuse buffers instead of reallocating.
+struct Enumerator<'a> {
+    protocol: &'a dyn JointProtocol,
+    adversary: &'a dyn Adversary,
+    spec: &'a ExecutionSpec,
+    max_runs: usize,
+    runs: Vec<Run>,
+    /// Reused buffer for each step's `LocalView::events`.
+    seen: Vec<SeenEvent>,
+    /// Reused buffer for each tick's due deliveries.
+    due: Vec<(u64, usize, usize, hm_runs::Message, usize)>,
+}
+
+impl Enumerator<'_> {
+    /// Continues the simulation of `sim` from tick `t0`, starting at
+    /// processor `proc0` and skipping that processor's first `cmd0`
+    /// commands (already applied on this branch). `(0, 0)` at `t0` means
+    /// the tick is fresh and deliveries for it still have to happen.
+    ///
+    /// At an adversary choice with `k > 1` distinct outcomes, outcomes
+    /// `0..k-1` recurse on a clone of `sim` and the last one continues in
+    /// place, so choices are explored in option order and the shared
+    /// prefix is never re-simulated. Protocol steps interrupted by a
+    /// branch are re-issued on resume; this is sound because protocols
+    /// are deterministic functions of the view and the view only contains
+    /// events strictly before the current tick.
+    fn explore(
+        &mut self,
+        mut sim: Sim,
+        t0: u64,
+        proc0: usize,
+        cmd0: usize,
+    ) -> Result<(), EnumerateError> {
+        let spec = self.spec;
+        let n = spec.num_procs;
+        for t in t0..=spec.horizon {
+            let (start_proc, start_cmd) = if t == t0 { (proc0, cmd0) } else { (0, 0) };
+            if start_proc == 0 && start_cmd == 0 {
+                // Deliver messages scheduled for t, in send order.
+                sim.deliver_due(t, &mut self.due);
+            }
+            // Step each awake processor in id order.
+            for i in start_proc..n {
+                if t < spec.wake_times[i] {
+                    continue;
+                }
+                self.seen.clear();
+                self.seen
+                    .extend(
+                        sim.events[i]
+                            .iter()
+                            .take_while(|e| e.time < t)
+                            .map(|e| SeenEvent {
+                                event: e.event,
+                                clock: spec.clocks.reading(i, e.time),
+                            }),
+                    );
+                let cmds = self.protocol.step(&LocalView {
+                    me: AgentId::new(i),
+                    num_procs: n,
+                    initial_state: spec.initial_states[i],
+                    clock: spec.clocks.reading(i, t),
+                    events: &self.seen,
+                });
+                let skip = if t == t0 && i == proc0 { start_cmd } else { 0 };
+                for (ci, cmd) in cmds.into_iter().enumerate().skip(skip) {
+                    match cmd {
+                        Command::Act { action, data } => {
+                            sim.events[i].push(TimedEvent::new(t, Event::Act { action, data }));
                         }
-                        send_count += 1;
+                        Command::Send { to, msg } => {
+                            sim.events[i].push(TimedEvent::new(t, Event::Send { to, msg }));
+                            let seq = sim.send_count;
+                            let mut options = self.adversary.outcomes(
+                                seq,
+                                t,
+                                AgentId::new(i),
+                                to,
+                                &msg,
+                                spec.horizon,
+                            );
+                            assert!(
+                                !options.is_empty(),
+                                "adversary returned no outcomes for message {seq}"
+                            );
+                            dedup_outcomes(&mut options);
+                            sim.send_count += 1;
+                            let send = SendCtx {
+                                t,
+                                from: i,
+                                to,
+                                msg,
+                                seq,
+                            };
+                            let (&last, rest) = options.split_last().expect("non-empty");
+                            for &opt in rest {
+                                let mut child = sim.clone();
+                                child.apply_outcome(opt, &send, spec.horizon);
+                                self.explore(child, t, i, ci + 1)?;
+                            }
+                            // Last option continues on this branch.
+                            sim.apply_outcome(last, &send, spec.horizon);
+                        }
                     }
                 }
             }
         }
+        self.materialise(sim);
+        if self.runs.len() > self.max_runs {
+            return Err(EnumerateError::RunLimit(self.max_runs));
+        }
+        Ok(())
     }
 
-    // Materialise the run.
-    let name = if spec.label.is_empty() {
-        format!("{}[{}]", protocol.name(), outcome_labels.join(","))
-    } else {
-        format!(
-            "{}:{}[{}]",
-            spec.label,
-            protocol.name(),
-            outcome_labels.join(",")
-        )
-    };
-    let mut b = RunBuilder::new(name, n, spec.horizon);
-    for i in 0..n {
-        b = b.wake(AgentId::new(i), spec.wake_times[i], spec.initial_states[i]);
-        if let Clocks::Offset(offs) = &spec.clocks {
-            let readings = (0..=spec.horizon).map(|t| t + offs[i]).collect();
-            b = b.clock_readings(AgentId::new(i), readings);
+    /// Turns a completed branch into a [`Run`].
+    fn materialise(&mut self, sim: Sim) {
+        let spec = self.spec;
+        let mut labels = String::new();
+        for (k, l) in sim.labels.iter().enumerate() {
+            if k > 0 {
+                labels.push(',');
+            }
+            match l {
+                OutcomeLabel::Delivered(delta) => {
+                    labels.push('d');
+                    labels.push_str(&delta.to_string());
+                }
+                OutcomeLabel::Lost => labels.push('x'),
+            }
         }
-        for e in &events[i] {
-            b = b.event(AgentId::new(i), e.time, e.event);
+        let name = if spec.label.is_empty() {
+            format!("{}[{labels}]", self.protocol.name())
+        } else {
+            format!("{}:{}[{labels}]", spec.label, self.protocol.name())
+        };
+        let mut b = RunBuilder::new(name, spec.num_procs, spec.horizon);
+        for (i, events) in sim.events.into_iter().enumerate() {
+            b = b.wake(AgentId::new(i), spec.wake_times[i], spec.initial_states[i]);
+            if let Clocks::Offset(offs) = &spec.clocks {
+                let readings = (0..=spec.horizon).map(|t| t + offs[i]).collect();
+                b = b.clock_readings(AgentId::new(i), readings);
+            }
+            for e in events {
+                b = b.event(AgentId::new(i), e.time, e.event);
+            }
         }
+        self.runs.push(b.build());
     }
-    ExecOutcome::Complete(b.build())
 }
 
-/// Enumerates **all** runs of `protocol` against `adversary` under `spec`.
+/// Drops duplicate outcomes, keeping first occurrences: two identical
+/// outcomes for the same message provably yield point-for-point identical
+/// views (and identical run names), so exploring both would enumerate the
+/// same run twice. The stock adversaries never return duplicates; this
+/// guards user-written ones.
+fn dedup_outcomes(options: &mut Vec<Outcome>) {
+    let mut i = 0;
+    while i < options.len() {
+        if options[..i].contains(&options[i]) {
+            options.remove(i);
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Enumerates **all** runs of `protocol` against `adversary` under `spec`,
+/// by depth-first search over the adversary's choices. The state of the
+/// shared prefix is cloned at each branch point rather than replayed, so
+/// enumeration is linear in the total size of the run tree. Adversary
+/// option lists are deduplicated first (see the stock adversaries — they
+/// never offer duplicates, so for them the run set is exactly the product
+/// of the per-message choices).
 ///
 /// # Errors
 ///
@@ -261,26 +398,17 @@ pub fn enumerate_runs(
     spec: &ExecutionSpec,
     max_runs: usize,
 ) -> Result<Vec<Run>, EnumerateError> {
-    let mut runs = Vec::new();
-    let mut stack: Vec<Vec<usize>> = vec![Vec::new()];
-    while let Some(choices) = stack.pop() {
-        match execute(protocol, adversary, spec, &choices) {
-            ExecOutcome::Complete(run) => {
-                runs.push(run);
-                if runs.len() > max_runs {
-                    return Err(EnumerateError::RunLimit(max_runs));
-                }
-            }
-            ExecOutcome::NeedChoice { num_options } => {
-                // Push in reverse so option 0 is explored first.
-                for o in (0..num_options).rev() {
-                    let mut next = choices.clone();
-                    next.push(o);
-                    stack.push(next);
-                }
-            }
-        }
-    }
+    let mut enumerator = Enumerator {
+        protocol,
+        adversary,
+        spec,
+        max_runs,
+        runs: Vec::new(),
+        seen: Vec::new(),
+        due: Vec::new(),
+    };
+    enumerator.explore(Sim::new(spec.num_procs), 0, 0, 0)?;
+    let mut runs = enumerator.runs;
     // Canonical order: sort by name for reproducibility.
     runs.sort_by(|a, b| a.name.cmp(&b.name));
     Ok(runs)

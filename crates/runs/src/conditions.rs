@@ -7,15 +7,37 @@
 //! module implements them so experiments can first *verify the hypothesis*
 //! and then check the theorem's conclusion.
 
-use crate::run::Run;
+use crate::run::{ProcRecord, Run};
 use crate::system::{RunId, System};
-use crate::view::complete_history_key;
+use crate::view::encode_complete_history;
 use hm_kripke::AgentId;
+use std::cell::RefCell;
+
+thread_local! {
+    /// Scratch pair for history comparisons: the NG checkers compare
+    /// histories inside O(runs² × horizon²) loops, so a per-call key
+    /// allocation is the dominant cost.
+    static HISTORY_BUFS: RefCell<(Vec<u64>, Vec<u64>)> = const { RefCell::new((Vec::new(), Vec::new())) };
+}
+
+/// `h(pa, ta) == h(pb, tb)` under the complete-history encoding, comparing
+/// through reused thread-local scratch buffers (no allocation after the
+/// first call).
+fn history_keys_equal(pa: &ProcRecord, ta: u64, pb: &ProcRecord, tb: u64) -> bool {
+    HISTORY_BUFS.with(|bufs| {
+        let (a, b) = &mut *bufs.borrow_mut();
+        a.clear();
+        b.clear();
+        encode_complete_history(pa, ta, a);
+        encode_complete_history(pb, tb, b);
+        a == b
+    })
+}
 
 /// `true` iff `h(p_i, ra, t) = h(p_i, rb, t)` under the complete-history
 /// interpretation (Section 5's history equality).
 pub fn histories_equal(ra: &Run, rb: &Run, i: AgentId, t: u64) -> bool {
-    complete_history_key(ra.proc(i), t) == complete_history_key(rb.proc(i), t)
+    history_keys_equal(ra.proc(i), t, rb.proc(i), t)
 }
 
 /// `true` iff `rb` *extends* the point `(ra, t)`: every processor has the
@@ -187,14 +209,14 @@ pub fn shift_witness(system: &System, r: &Run, t: u64, pi: AgentId, pj: AgentId)
     let late = |r2: &Run| {
         (0..t).all(|u| {
             u < r2.horizon
-                && complete_history_key(r.proc(pi), u) == complete_history_key(r2.proc(pi), u + 1)
+                && history_keys_equal(r.proc(pi), u, r2.proc(pi), u + 1)
                 && histories_equal(r, r2, pj, u)
         })
     };
     let early = |r2: &Run| {
         (0..t).all(|u| {
             u < r.horizon
-                && complete_history_key(r.proc(pi), u + 1) == complete_history_key(r2.proc(pi), u)
+                && history_keys_equal(r.proc(pi), u + 1, r2.proc(pi), u)
                 && histories_equal(r, r2, pj, u)
         })
     };

@@ -1,0 +1,163 @@
+//! Hash-consing of view-key encodings into dense `u32` view ids.
+//!
+//! Building an interpreted system needs, per agent, a partition of all
+//! points by view. Materialising one `Vec<u64>` key per point and hashing
+//! it into a map dominates construction time; a [`ViewInterner`] instead
+//! stores every distinct encoding once in a flat arena and resolves each
+//! point's scratch-buffer encoding to a dense id with a single open-address
+//! probe. Ids are handed out in first-intern order, so they double as
+//! canonical partition labels (see `Partition::from_dense_keys`).
+
+/// A hash-consing table mapping `&[u64]` view encodings to dense `u32` ids.
+///
+/// All distinct keys live concatenated in one arena; per-point work does no
+/// heap allocation beyond the arena's amortised growth.
+///
+/// # Examples
+///
+/// ```
+/// use hm_runs::ViewInterner;
+/// let mut interner = ViewInterner::new();
+/// let a = interner.intern(&[1, 2, 3]);
+/// let b = interner.intern(&[9]);
+/// assert_eq!(interner.intern(&[1, 2, 3]), a);
+/// assert_ne!(a, b);
+/// assert_eq!(interner.get(a), &[1, 2, 3]);
+/// assert_eq!(interner.len(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ViewInterner {
+    /// Concatenated key payloads.
+    data: Vec<u64>,
+    /// `(start, len)` of each interned key within `data`, indexed by id.
+    spans: Vec<(u32, u32)>,
+    /// Open-addressing slots holding ids; `u32::MAX` marks empty.
+    table: Vec<u32>,
+}
+
+const EMPTY: u32 = u32::MAX;
+
+/// Multiplicative word mixer (splitmix64's finalizer constants); the whole
+/// key is folded in, so equal slices hash equal and order matters.
+fn hash_key(key: &[u64]) -> u64 {
+    let mut h = 0x9E37_79B9_7F4A_7C15u64 ^ (key.len() as u64);
+    for &w in key {
+        h = (h ^ w).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h ^= h >> 27;
+    }
+    h
+}
+
+impl ViewInterner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        ViewInterner {
+            data: Vec::new(),
+            spans: Vec::new(),
+            table: vec![EMPTY; 16],
+        }
+    }
+
+    /// Number of distinct keys interned so far (ids are `0..len()`).
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// `true` iff nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// The key interned under `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not issued by this interner.
+    pub fn get(&self, id: u32) -> &[u64] {
+        let (start, len) = self.spans[id as usize];
+        &self.data[start as usize..(start + len) as usize]
+    }
+
+    /// Resolves `key` to its dense id, interning it on first sight.
+    /// Ids are issued in first-intern order: `0, 1, 2, …`.
+    pub fn intern(&mut self, key: &[u64]) -> u32 {
+        if self.spans.len() * 8 >= self.table.len() * 7 {
+            self.grow();
+        }
+        let mask = self.table.len() - 1;
+        let mut slot = hash_key(key) as usize & mask;
+        loop {
+            let id = self.table[slot];
+            if id == EMPTY {
+                let new_id = u32::try_from(self.spans.len()).expect("too many distinct views");
+                let start = u32::try_from(self.data.len()).expect("view arena exceeds u32 range");
+                self.data.extend_from_slice(key);
+                self.spans.push((start, key.len() as u32));
+                self.table[slot] = new_id;
+                return new_id;
+            }
+            if self.get(id) == key {
+                return id;
+            }
+            slot = (slot + 1) & mask;
+        }
+    }
+
+    /// Doubles the table and reinserts every id.
+    fn grow(&mut self) {
+        let new_cap = self.table.len() * 2;
+        let mask = new_cap - 1;
+        let mut table = vec![EMPTY; new_cap];
+        for id in 0..self.spans.len() as u32 {
+            let mut slot = hash_key(self.get(id)) as usize & mask;
+            while table[slot] != EMPTY {
+                slot = (slot + 1) & mask;
+            }
+            table[slot] = id;
+        }
+        self.table = table;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interns_by_value_in_first_seen_order() {
+        let mut i = ViewInterner::new();
+        assert!(i.is_empty());
+        assert_eq!(i.intern(&[]), 0, "empty key is a valid view (asleep)");
+        assert_eq!(i.intern(&[1, 2]), 1);
+        assert_eq!(i.intern(&[2, 1]), 2, "order matters");
+        assert_eq!(i.intern(&[1, 2]), 1);
+        assert_eq!(i.intern(&[]), 0);
+        assert_eq!(i.len(), 3);
+        assert_eq!(i.get(2), &[2, 1]);
+    }
+
+    #[test]
+    fn survives_growth_past_initial_capacity() {
+        let mut i = ViewInterner::new();
+        let ids: Vec<u32> = (0..1000u64).map(|k| i.intern(&[k, k ^ 7])).collect();
+        assert_eq!(i.len(), 1000);
+        for (k, &id) in ids.iter().enumerate() {
+            assert_eq!(id, k as u32);
+            assert_eq!(i.get(id), &[k as u64, k as u64 ^ 7]);
+        }
+        // Re-interning returns the same ids.
+        for (k, &id) in ids.iter().enumerate() {
+            assert_eq!(i.intern(&[k as u64, k as u64 ^ 7]), id);
+        }
+    }
+
+    #[test]
+    fn length_is_part_of_the_key() {
+        let mut i = ViewInterner::new();
+        let a = i.intern(&[0]);
+        let b = i.intern(&[0, 0]);
+        let c = i.intern(&[0, 0, 0]);
+        assert_eq!(i.len(), 3);
+        assert!(a != b && b != c && a != c);
+    }
+}

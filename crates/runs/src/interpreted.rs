@@ -9,10 +9,11 @@
 //! [`TemporalStructure`] (the `E^ε/E^◇/E^T` and run-temporal operators of
 //! Sections 11–12) for the `hm-logic` model checker.
 
+use crate::intern::ViewInterner;
 use crate::run::Run;
 use crate::system::{Point, RunId, System};
 use crate::view::ViewFunction;
-use hm_kripke::{AgentGroup, AgentId, KripkeModel, ModelBuilder, WorldId, WorldSet};
+use hm_kripke::{AgentGroup, AgentId, KripkeModel, ModelBuilder, Partition, WorldId, WorldSet};
 use hm_logic::{evaluate, EvalError, Formula, Frame, TemporalStructure};
 
 /// A fact predicate: the truth of a ground atom at each point of a run.
@@ -52,11 +53,10 @@ impl InterpretedSystemBuilder {
         }
 
         let mut b = ModelBuilder::new(num_procs);
-        for (_, r) in system.runs() {
-            for t in 0..=r.horizon {
-                b.add_world(format!("{}@{t}", r.name));
-            }
-        }
+        // Worlds are unnamed: point names `run@t` are derived lazily from
+        // `locate` when a diagnostic asks (see `point_name`), instead of
+        // one `format!` per point here.
+        b.add_worlds(num_points);
         for (name, fact) in &self.facts {
             let atom = b.atom(name.clone());
             let mut w = 0usize;
@@ -69,16 +69,26 @@ impl InterpretedSystemBuilder {
                 }
             }
         }
-        // Agent partitions from interned view keys.
+        // Agent partitions from hash-consed view encodings: one scratch
+        // buffer replayed through an interner per agent — no per-point
+        // allocation — then a dense O(n) partition build from the ids.
+        let mut scratch: Vec<u64> = Vec::new();
+        let mut ids: Vec<u32> = Vec::with_capacity(num_points);
         for i in 0..num_procs {
             let agent = AgentId::new(i);
-            let mut keys: Vec<Vec<u64>> = Vec::with_capacity(num_points);
+            let mut interner = ViewInterner::new();
+            ids.clear();
             for (_, r) in system.runs() {
                 for t in 0..=r.horizon {
-                    keys.push(self.view.view_key(r, agent, t));
+                    scratch.clear();
+                    self.view.encode_view(r, agent, t, &mut scratch);
+                    ids.push(interner.intern(&scratch));
                 }
             }
-            b.set_partition_by_key(agent, |w| keys[w.index()].clone());
+            b.set_partition(
+                agent,
+                Partition::from_dense_keys(num_points, &ids, interner.len()),
+            );
         }
         let model = b.build();
 
@@ -172,6 +182,15 @@ impl InterpretedSystem {
             "time {t} beyond horizon of {run}"
         );
         WorldId::new(self.offsets[run.index()] as usize + t as usize)
+    }
+
+    /// Diagnostic name of a world: `run@t`, derived lazily from
+    /// [`locate`](Self::locate). The underlying model's worlds are
+    /// unnamed (construction never formats a name per point); use this
+    /// instead of [`KripkeModel::world_label`] for interpreted systems.
+    pub fn point_name(&self, w: WorldId) -> String {
+        let p = self.locate(w);
+        format!("{}@{}", self.system.run(p.run).name, p.time)
     }
 
     /// The point of a world id.

@@ -18,16 +18,18 @@
 
 pub mod conditions;
 mod event;
+mod intern;
 mod interpreted;
 mod run;
 mod system;
 mod view;
 
 pub use event::{Event, Message, TimedEvent};
+pub use intern::ViewInterner;
 pub use interpreted::{FactFn, InterpretedSystem, InterpretedSystemBuilder};
 pub use run::{ProcRecord, Run, RunBuilder};
 pub use system::{Point, RunId, System};
 pub use view::{
-    complete_history_key, last_event_view, ClockOnly, CompleteHistory, SharedLambda,
-    StateProjection, ViewFunction,
+    complete_history_key, encode_complete_history, last_event_view, ClockOnly, CompleteHistory,
+    SharedLambda, StateProjection, ViewFunction,
 };

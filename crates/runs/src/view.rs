@@ -13,8 +13,13 @@
 //! - [`StateProjection`] — an arbitrary function of the history
 //!   (e.g. a bounded "local state", which may forget).
 //!
-//! Views are canonical integer encodings: two points get the same view iff
-//! their encodings are equal, so partitions can be built by key.
+//! Views are canonical integer encodings *appended into a caller-supplied
+//! scratch buffer*: two points get the same view iff their encodings are
+//! equal. The hot path never materialises a `Vec` per point — the
+//! interpreted-system builder replays one scratch buffer through a
+//! [`ViewInterner`](crate::ViewInterner), which hash-conses each encoding
+//! into a dense `u32` view id, and agent partitions are built directly
+//! from those ids (see E16 for the view-spectrum tests over this scheme).
 
 use crate::run::{ProcRecord, Run};
 use hm_kripke::AgentId;
@@ -28,47 +33,73 @@ use hm_kripke::AgentId;
 /// view; coarser views must factor through it (spot-checked
 /// by the E16 view-spectrum tests).
 pub trait ViewFunction {
-    /// Canonical key of processor `i`'s view at `(run, t)`. Equal keys mean
-    /// indistinguishable points.
-    fn view_key(&self, run: &Run, i: AgentId, t: u64) -> Vec<u64>;
+    /// Appends the canonical key of processor `i`'s view at `(run, t)`
+    /// onto `out` (which may hold unrelated prefix data the implementation
+    /// must not touch). Equal appended encodings mean indistinguishable
+    /// points.
+    fn encode_view(&self, run: &Run, i: AgentId, t: u64, out: &mut Vec<u64>);
+
+    /// Convenience form of [`encode_view`](Self::encode_view) returning a
+    /// fresh buffer; allocates, so tests and diagnostics only.
+    fn view_key(&self, run: &Run, i: AgentId, t: u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.encode_view(run, i, t, &mut out);
+        out
+    }
 
     /// Short name for diagnostics.
     fn name(&self) -> &'static str;
 }
 
-/// Encodes the paper's complete history `h(p_i, r, t)`: initial state, the
-/// *set* of clock values read up to and including `t` (tick counts are not
-/// observable — a constant clock reveals nothing about elapsed real time),
-/// and the sequence of events before `t`, each stamped with the clock
-/// reading at its occurrence when clocks exist.
-pub fn complete_history_key(p: &ProcRecord, t: u64) -> Vec<u64> {
-    let mut key = Vec::new();
+/// Appends the paper's complete history `h(p_i, r, t)` onto `out`: initial
+/// state, the *set* of clock values read up to and including `t` (tick
+/// counts are not observable — a constant clock reveals nothing about
+/// elapsed real time), and the sequence of events before `t`, each stamped
+/// with the clock reading at its occurrence when clocks exist.
+///
+/// Appends nothing for an asleep processor (the empty history, shared by
+/// all asleep points).
+pub fn encode_complete_history(p: &ProcRecord, t: u64, out: &mut Vec<u64>) {
     let wake = match p.wake_time {
         Some(w) if t >= w => w,
-        // Asleep: the empty history (shared by all asleep points).
-        _ => return key,
+        // Asleep: the empty history.
+        _ => return,
     };
-    key.push(1); // awake marker
-    key.push(p.initial_state);
+    out.push(1); // awake marker
+    out.push(p.initial_state);
     // Clock value set, deduplicated (monotone, so dedup of the reading
-    // sequence from wake to t).
+    // sequence from wake to t), preceded by its length.
     match &p.clock {
         Some(c) => {
-            let mut values: Vec<u64> = c[wake as usize..=t as usize].to_vec();
-            values.dedup();
-            key.push(values.len() as u64);
-            key.extend(values);
+            let count_at = out.len();
+            out.push(0); // length, patched below
+            let mut last = None;
+            for &v in &c[wake as usize..=t as usize] {
+                if last != Some(v) {
+                    out.push(v);
+                    last = Some(v);
+                }
+            }
+            out[count_at] = (out.len() - count_at - 1) as u64;
         }
-        None => key.push(0),
+        None => out.push(0),
     }
-    // Events before t, clock-stamped.
-    let events: Vec<_> = p.events_before(t).collect();
-    key.push(events.len() as u64);
-    for e in events {
-        e.event.encode(&mut key);
-        key.push(p.clock_at(e.time).map_or(u64::MAX, |c| c));
+    // Events before t, clock-stamped, preceded by their count. Events are
+    // sorted by time, so the prefix boundary is a binary search away.
+    let prefix = p.events.partition_point(|e| e.time < t);
+    out.push(prefix as u64);
+    for e in &p.events[..prefix] {
+        e.event.encode(out);
+        out.push(p.clock_at(e.time).map_or(u64::MAX, |c| c));
     }
-    key
+}
+
+/// [`encode_complete_history`] into a fresh buffer; allocates, so tests
+/// and the NG-condition checkers' reference paths only.
+pub fn complete_history_key(p: &ProcRecord, t: u64) -> Vec<u64> {
+    let mut out = Vec::new();
+    encode_complete_history(p, t, &mut out);
+    out
 }
 
 /// The complete-history interpretation (finest admissible view).
@@ -76,8 +107,8 @@ pub fn complete_history_key(p: &ProcRecord, t: u64) -> Vec<u64> {
 pub struct CompleteHistory;
 
 impl ViewFunction for CompleteHistory {
-    fn view_key(&self, run: &Run, i: AgentId, t: u64) -> Vec<u64> {
-        complete_history_key(run.proc(i), t)
+    fn encode_view(&self, run: &Run, i: AgentId, t: u64, out: &mut Vec<u64>) {
+        encode_complete_history(run.proc(i), t, out);
     }
 
     fn name(&self) -> &'static str {
@@ -92,9 +123,7 @@ impl ViewFunction for CompleteHistory {
 pub struct SharedLambda;
 
 impl ViewFunction for SharedLambda {
-    fn view_key(&self, _run: &Run, _i: AgentId, _t: u64) -> Vec<u64> {
-        Vec::new()
-    }
+    fn encode_view(&self, _run: &Run, _i: AgentId, _t: u64, _out: &mut Vec<u64>) {}
 
     fn name(&self) -> &'static str {
         "shared-lambda"
@@ -108,14 +137,14 @@ impl ViewFunction for SharedLambda {
 pub struct ClockOnly;
 
 impl ViewFunction for ClockOnly {
-    fn view_key(&self, run: &Run, i: AgentId, t: u64) -> Vec<u64> {
+    fn encode_view(&self, run: &Run, i: AgentId, t: u64, out: &mut Vec<u64>) {
         let p = run.proc(i);
         if !p.awake_at(t) {
-            return Vec::new();
+            return;
         }
-        match p.clock_at(t) {
-            Some(c) => vec![1, c],
-            None => vec![1],
+        out.push(1);
+        if let Some(c) = p.clock_at(t) {
+            out.push(c);
         }
     }
 
@@ -128,8 +157,9 @@ impl ViewFunction for ClockOnly {
 /// history prefix — the "processor's local state" interpretations of
 /// Section 6, which can *forget*.
 ///
-/// The projection receives the processor record and the current time and
-/// must depend only on the history (enforceable by test, not by type).
+/// The projection receives the processor record, the current time and the
+/// scratch buffer to append its encoding onto, and must depend only on
+/// the history (enforceable by test, not by type).
 pub struct StateProjection<F> {
     name: &'static str,
     project: F,
@@ -137,7 +167,7 @@ pub struct StateProjection<F> {
 
 impl<F> StateProjection<F>
 where
-    F: Fn(&ProcRecord, u64) -> Vec<u64>,
+    F: Fn(&ProcRecord, u64, &mut Vec<u64>),
 {
     /// Creates a named projection view.
     pub fn new(name: &'static str, project: F) -> Self {
@@ -147,10 +177,10 @@ where
 
 impl<F> ViewFunction for StateProjection<F>
 where
-    F: Fn(&ProcRecord, u64) -> Vec<u64>,
+    F: Fn(&ProcRecord, u64, &mut Vec<u64>),
 {
-    fn view_key(&self, run: &Run, i: AgentId, t: u64) -> Vec<u64> {
-        (self.project)(run.proc(i), t)
+    fn encode_view(&self, run: &Run, i: AgentId, t: u64, out: &mut Vec<u64>) {
+        (self.project)(run.proc(i), t, out);
     }
 
     fn name(&self) -> &'static str {
@@ -167,20 +197,23 @@ impl<F> std::fmt::Debug for StateProjection<F> {
 /// The "last event only" projection: remembers the initial state, the most
 /// recent event, and the clock reading — a deliberately forgetful local
 /// state used by experiment E16.
-pub fn last_event_view() -> StateProjection<impl Fn(&ProcRecord, u64) -> Vec<u64>> {
-    StateProjection::new("last-event", |p: &ProcRecord, t: u64| {
-        if !p.awake_at(t) {
-            return Vec::new();
-        }
-        let mut key = vec![1, p.initial_state];
-        if let Some(c) = p.clock_at(t) {
-            key.push(c);
-        }
-        if let Some(e) = p.events_before(t).last() {
-            e.event.encode(&mut key);
-        }
-        key
-    })
+pub fn last_event_view() -> StateProjection<impl Fn(&ProcRecord, u64, &mut Vec<u64>)> {
+    StateProjection::new(
+        "last-event",
+        |p: &ProcRecord, t: u64, out: &mut Vec<u64>| {
+            if !p.awake_at(t) {
+                return;
+            }
+            out.push(1);
+            out.push(p.initial_state);
+            if let Some(c) = p.clock_at(t) {
+                out.push(c);
+            }
+            if let Some(e) = p.events_before(t).last() {
+                e.event.encode(out);
+            }
+        },
+    )
 }
 
 #[cfg(test)]

@@ -57,7 +57,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 isys.model().num_worlds()
             );
             for w in holds.iter().take(40) {
-                println!("  {}", isys.model().world_label(w));
+                println!("  {}", isys.point_name(w));
             }
             if holds.count() > 40 {
                 println!("  … ({} more)", holds.count() - 40);
@@ -72,7 +72,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 analysis.isys.model().num_worlds()
             );
             for w in holds.iter().take(40) {
-                println!("  {}", analysis.isys.model().world_label(w));
+                println!("  {}", analysis.isys.point_name(w));
             }
             if holds.count() > 40 {
                 println!("  … ({} more)", holds.count() - 40);

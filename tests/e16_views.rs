@@ -12,8 +12,8 @@
 use halpern_moses::kripke::{AgentGroup, AgentId};
 use halpern_moses::logic::{Formula, Frame};
 use halpern_moses::runs::{
-    last_event_view, CompleteHistory, Event, InterpretedSystem, Message, RunBuilder, SharedLambda,
-    System,
+    last_event_view, ClockOnly, CompleteHistory, Event, InterpretedSystem, Message, RunBuilder,
+    SharedLambda, System, ViewFunction, ViewInterner,
 };
 
 fn a(i: usize) -> AgentId {
@@ -111,6 +111,76 @@ fn last_event_view_forgets_the_count() {
     // …under the last-event view it cannot tell two sends from one.
     let twice_run = forgetful.system().run_by_name("twice").unwrap();
     assert!(!forgetful.holds(&k_twice, twice_run, 3).unwrap());
+}
+
+#[test]
+fn interned_view_ids_pin_the_vec_encodings() {
+    // The hot path interns scratch-buffer encodings into dense ids; the
+    // cold path materialises `Vec<u64>` keys. Two points must get the same
+    // id iff their keys are equal — for every view in the spectrum, over a
+    // system mixing clocks, wake times and event histories.
+    let mut runs = msg_runs();
+    runs.push(
+        RunBuilder::new("clocked", 2, 4)
+            .wake(a(0), 1, 3)
+            .wake(a(1), 0, 0)
+            .clock_readings(a(0), vec![0, 5, 5, 6, 8])
+            .clock_readings(a(1), vec![2, 3, 3, 3, 9])
+            .event(
+                a(0),
+                2,
+                Event::Send {
+                    to: a(1),
+                    msg: Message::tagged(4),
+                },
+            )
+            .build(),
+    );
+    let sys = System::new(runs);
+    let views: Vec<Box<dyn ViewFunction>> = vec![
+        Box::new(CompleteHistory),
+        Box::new(SharedLambda),
+        Box::new(ClockOnly),
+        Box::new(last_event_view()),
+    ];
+    for view in &views {
+        for agent in [a(0), a(1)] {
+            let mut interner = ViewInterner::new();
+            let mut scratch = Vec::new();
+            let mut ids = Vec::new();
+            let mut keys = Vec::new();
+            for (_, r) in sys.runs() {
+                for t in 0..=r.horizon {
+                    scratch.clear();
+                    view.encode_view(r, agent, t, &mut scratch);
+                    let id = interner.intern(&scratch);
+                    assert_eq!(
+                        interner.get(id),
+                        &scratch[..],
+                        "interner must store the encoding verbatim"
+                    );
+                    ids.push(id);
+                    keys.push(view.view_key(r, agent, t));
+                    assert_eq!(
+                        keys.last().unwrap(),
+                        &scratch,
+                        "view_key and encode_view must agree ({})",
+                        view.name()
+                    );
+                }
+            }
+            for i in 0..ids.len() {
+                for j in 0..ids.len() {
+                    assert_eq!(
+                        ids[i] == ids[j],
+                        keys[i] == keys[j],
+                        "view {} agent {agent}: points {i},{j} disagree",
+                        view.name()
+                    );
+                }
+            }
+        }
+    }
 }
 
 #[test]

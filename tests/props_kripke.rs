@@ -137,6 +137,32 @@ proptest! {
     }
 
     #[test]
+    fn from_dense_keys_matches_from_key(n in 1usize..300, seed in 0u64..1000) {
+        let mut rng = SplitMix64::new(seed);
+        let num_keys = 1 + rng.next_below(24) as usize;
+        let keys: Vec<u32> = (0..n).map(|_| rng.next_below(num_keys as u64) as u32).collect();
+        let dense = Partition::from_dense_keys(n, &keys, num_keys);
+        let hashed = Partition::from_key(n, |w| keys[w.index()]);
+        prop_assert_eq!(dense, hashed);
+    }
+
+    #[test]
+    fn common_knowledge_agrees_with_materialised_reachability(seed in 0u64..500) {
+        let m = random_model(seed, RandomModelSpec {
+            num_agents: 3,
+            num_worlds: 40,
+            num_atoms: 1,
+            max_blocks: 8,
+        });
+        let g = AgentGroup::all(3);
+        let fact = m.atom_set(0.into());
+        let bfs = m.common_knowledge(&g, &fact);
+        let via_join = m.reachability_partition(&g).knowledge(&fact);
+        prop_assert_eq!(&bfs, &via_join);
+        prop_assert_eq!(&bfs, &m.common_knowledge_gfp(&g, &fact));
+    }
+
+    #[test]
     fn e_tower_decreases_and_c_is_its_limit(seed in 0u64..2000) {
         // E^{k+1} ⊆ E^k, and once the tower stabilises it equals C (on
         // finite models the limit is reached).
@@ -160,5 +186,92 @@ proptest! {
             prev = next;
         }
         prop_assert_eq!(prev, m.common_knowledge(&g, &fact));
+    }
+}
+
+/// Blocks of a partition as a canonical (sorted) list of sorted lists, for
+/// representation-independent comparison with naive references.
+fn sorted_blocks(p: &Partition) -> Vec<Vec<usize>> {
+    let mut out: Vec<Vec<usize>> = p
+        .blocks()
+        .map(|b| b.iter().map(|&w| w as usize).collect())
+        .collect();
+    out.sort();
+    out
+}
+
+/// Naive meet: block-by-block set intersection, the reference semantics
+/// the O(n) stamp-based kernel must reproduce.
+fn naive_meet_blocks(p: &Partition, q: &Partition) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    for bp in p.blocks() {
+        let sp: BTreeSet<usize> = bp.iter().map(|&w| w as usize).collect();
+        for bq in q.blocks() {
+            let inter: Vec<usize> = bq
+                .iter()
+                .map(|&w| w as usize)
+                .filter(|w| sp.contains(w))
+                .collect();
+            if !inter.is_empty() {
+                out.push(inter);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Naive join: start from `p`'s blocks and merge, for each block of `q`,
+/// every current class its members touch (global relabel — one pass is a
+/// full equivalence closure, since relabelling keeps classes whole).
+fn naive_join_blocks(p: &Partition, q: &Partition, n: usize) -> Vec<Vec<usize>> {
+    let mut label: Vec<usize> = (0..n).map(|w| p.block_of(WorldId::new(w))).collect();
+    for bq in q.blocks() {
+        let touched: BTreeSet<usize> = bq.iter().map(|&w| label[w as usize]).collect();
+        let target = *touched.iter().next().expect("blocks are non-empty");
+        if touched.len() > 1 {
+            for l in label.iter_mut() {
+                if touched.contains(l) {
+                    *l = target;
+                }
+            }
+        }
+    }
+    let mut groups: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+    for (w, &l) in label.iter().enumerate() {
+        groups.entry(l).or_default().push(w);
+    }
+    let mut out: Vec<Vec<usize>> = groups.into_values().collect();
+    out.sort();
+    out
+}
+
+fn random_partition(n: usize, max_blocks: u64, seed: u64) -> Partition {
+    let mut rng = SplitMix64::new(seed);
+    let blocks = 1 + rng.next_below(max_blocks);
+    let keys: Vec<u64> = (0..n).map(|_| rng.next_below(blocks)).collect();
+    Partition::from_key(n, |w| keys[w.index()])
+}
+
+proptest! {
+    // Large universes (up to 4096 worlds) against the naive references;
+    // fewer cases, since each one is big.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn meet_matches_naive_block_intersection(n in 1usize..4097, seed in 0u64..1_000_000) {
+        let p = random_partition(n, n as u64 / 8 + 1, seed);
+        let q = random_partition(n, 16, seed ^ 0x5EED);
+        prop_assert_eq!(sorted_blocks(&p.meet(&q)), naive_meet_blocks(&p, &q));
+        // Canonical numbering: the kernel agrees with from_key on pairs.
+        let pairwise = Partition::from_key(n, |w| (p.block_of(w), q.block_of(w)));
+        prop_assert_eq!(p.meet(&q), pairwise);
+    }
+
+    #[test]
+    fn join_matches_naive_closure(n in 1usize..4097, seed in 0u64..1_000_000) {
+        let p = random_partition(n, n as u64 / 8 + 1, seed);
+        let q = random_partition(n, 16, seed ^ 0x1015);
+        prop_assert_eq!(sorted_blocks(&p.join(&q)), naive_join_blocks(&p, &q, n));
     }
 }
