@@ -8,6 +8,9 @@ export CARGO_NET_OFFLINE=true
 cargo fmt --all --check
 cargo clippy --workspace --all-targets -- -D warnings
 
+# Docs must build warning-clean (broken intra-doc links, missing docs).
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
+
 # Tier-1 verify (must match ROADMAP.md).
 cargo build --release
 cargo test -q

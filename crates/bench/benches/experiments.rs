@@ -73,7 +73,7 @@ fn b04_theorem5(c: &mut Criterion) {
 fn b06_r2d2(c: &mut Criterion) {
     let analysis = r2d2_interpreted(2, 4, 4, R2d2Mode::Uncertain);
     c.bench_function("b06_r2d2_ladder_onsets", |b| {
-        b.iter(|| black_box(ladder_onsets(&analysis, 3).unwrap()))
+        b.iter(|| black_box(ladder_onsets(&analysis.isys, &analysis.meta, 3).unwrap()))
     });
 }
 

@@ -4,36 +4,43 @@
 //!
 //! Usage: `cargo run -p hm-bench --bin experiments [-- E1 E6 …]`
 //! (no arguments = run everything). Output is deterministic.
+//!
+//! Every frame is constructed through the `hm-engine` pipeline
+//! (`Engine::for_scenario(..)` / `Engine::from_system(..)` /
+//! `Engine::from_model(..)` → `Session`), and direct formula evaluations
+//! go through `Session` queries — one compiled evaluation path for the
+//! whole driver. Analyses that quantify below the formula level (run
+//! sweeps, NG conditions, safety checks, puzzle dynamics) consume the
+//! session's interpreted system or model.
 
 use hm_core::agreement::{
-    agreement_interpreted, agreement_system, check_safety, ck_onset_in_clean_run, AgreementSpec,
+    agreement_builder, agreement_system, check_safety, ck_onset_in_clean_run, AgreementSpec,
 };
 use hm_core::attain::{
     check_ck_run_constant, check_ck_twin_invariance, check_proposition13, ck_set,
-    initial_point_reachable_everywhere, uncertain_start_interpreted,
+    initial_point_reachable_everywhere, uncertain_start_builder,
 };
 use hm_core::consistency::{
     find_internally_consistent_subsystem, knowledge_consistent, BeliefAssignment, IkcOutcome,
 };
-use hm_core::discovery::{deadlock_system, discovery_trajectory, has_deadlock, publication_stamp};
+use hm_core::discovery::{deadlock_builder, discovery_trajectory, has_deadlock, publication_stamp};
 use hm_core::hierarchy::hierarchy;
 use hm_core::kbp::{knows_own_state_rule, KnowledgeProtocol, Turns};
-use hm_core::puzzles::attack::{
-    classify_attack_rule, generals_interpreted, ladder_depth_at_end, AttackRuleOutcome,
-};
+use hm_core::puzzles::attack::{classify_attack_rule, ladder_depth_at_end, AttackRuleOutcome};
 use hm_core::puzzles::muddy::MuddyChildren;
-use hm_core::puzzles::r2d2::{ck_sent, first_time, ladder_onsets, r2d2_interpreted};
+use hm_core::puzzles::r2d2::{ck_sent, first_time, ladder_onsets, r2d2_parts};
 use hm_core::variants::{
     check_theorem12a, check_theorem12b, check_theorem12c, check_theorem9, check_variant_hierarchy,
-    conjunction_gap, ok_interpreted, skewed_broadcast_interpreted,
+    conjunction_gap, ok_builder, skewed_broadcast_builder,
 };
+use hm_engine::{Engine, Query, Session};
 use hm_kripke::{random_model, AgentGroup, AgentId, RandomModelSpec, WorldSet};
 use hm_logic::axioms::{
     check_fixed_point_axiom, check_induction_rule, check_lemma2, check_s5, sample_sets, ModalOp,
 };
-use hm_logic::{Formula, Frame};
+use hm_logic::{Formula, Frame, F};
 use hm_netsim::scenarios::{ok_psi, R2d2Mode};
-use hm_runs::conditions;
+use hm_runs::{conditions, InterpretedSystem};
 
 fn main() {
     let requested: Vec<String> = std::env::args().skip(1).collect();
@@ -70,6 +77,26 @@ fn main() {
 
 fn g2() -> AgentGroup {
     AgentGroup::all(2)
+}
+
+/// The generals' scenario through the engine.
+fn generals_session(horizon: u64) -> Session {
+    Engine::for_scenario("generals")
+        .horizon(horizon)
+        .build()
+        .expect("generals scenario")
+}
+
+/// The session's interpreted system (every experiment frame has runs).
+fn isys(session: &Session) -> &InterpretedSystem {
+    session.interpreted().expect("run-structured session")
+}
+
+/// Satisfying set of a formula, via the session's compiled-query cache.
+fn sat(session: &mut Session, f: &F) -> WorldSet {
+    session
+        .satisfying(&Query::new(f.clone()))
+        .expect("well-formed")
 }
 
 fn e1() {
@@ -114,32 +141,39 @@ fn e2() {
 }
 
 fn e3() {
-    let isys = generals_interpreted(10).unwrap();
+    let session = generals_session(10);
     println!("generals: interleaved knowledge depth after d deliveries (paper: depth = d)");
     for d in 0..=5usize {
-        println!("  d = {d}: depth {}", ladder_depth_at_end(&isys, d, 9));
+        println!(
+            "  d = {d}: depth {}",
+            ladder_depth_at_end(isys(&session), d, 9)
+        );
     }
 }
 
 fn e4() {
-    let isys = generals_interpreted(8).unwrap();
+    let session = generals_session(8);
     println!(
         "NG1 holds: {}, NG2 holds: {}",
-        conditions::check_ng1(isys.system()).is_none(),
-        conditions::check_ng2(isys.system()).is_none()
+        conditions::check_ng1(session.system().unwrap()).is_none(),
+        conditions::check_ng2(session.system().unwrap()).is_none()
     );
     let fact = Formula::atom("dispatched");
     println!(
         "Theorem 5 twin-invariance violations: {}",
-        check_ck_twin_invariance(&isys, &g2(), &fact).unwrap().len()
+        check_ck_twin_invariance(isys(&session), &g2(), &fact)
+            .unwrap()
+            .len()
     );
     println!(
         "C(dispatched) points: {} (paper: 0)",
-        ck_set(&isys, &g2(), &fact).unwrap().count()
+        ck_set(isys(&session), &g2(), &fact).unwrap().count()
     );
     println!(
         "Proposition 13 violations: {}",
-        check_proposition13(&isys, &g2(), &fact).unwrap().len()
+        check_proposition13(isys(&session), &g2(), &fact)
+            .unwrap()
+            .len()
     );
     println!("Corollary 6 sweep (thresholds 0..=3 x 0..=3):");
     let mut unsafe_ct = 0;
@@ -167,7 +201,7 @@ fn e5() {
     use hm_netsim::{
         enumerate_runs, Command, ExecutionSpec, FnProtocol, LocalView, UnboundedDelay,
     };
-    use hm_runs::{CompleteHistory, InterpretedSystem, Message, System};
+    use hm_runs::{CompleteHistory, Message, System};
     let protocol = FnProtocol::new("oneshot", |v: &LocalView<'_>| {
         if v.me.index() == 0 && v.initial_state == 1 && v.sent().count() == 0 {
             vec![Command::Send {
@@ -192,47 +226,51 @@ fn e5() {
             .unwrap(),
         );
     }
-    let isys = InterpretedSystem::builder(System::new(runs), CompleteHistory)
-        .fact("sent", |run, t| {
+    let builder =
+        InterpretedSystem::builder(System::new(runs), CompleteHistory).fact("sent", |run, t| {
             run.proc(AgentId::new(0))
                 .events_before(t + 1)
                 .any(|e| matches!(e.event, hm_runs::Event::Send { .. }))
-        })
-        .build();
+        });
+    let session = Engine::from_system(builder).build().unwrap();
     println!(
         "NG1' holds: {}, NG2 holds: {}",
-        conditions::check_ng1_prime(isys.system()).is_none(),
-        conditions::check_ng2(isys.system()).is_none()
+        conditions::check_ng1_prime(session.system().unwrap()).is_none(),
+        conditions::check_ng2(session.system().unwrap()).is_none()
     );
     let fact = Formula::atom("sent");
     println!(
         "Theorem 7 twin-invariance violations: {} | C(sent) points: {} (paper: 0)",
-        check_ck_twin_invariance(&isys, &g2(), &fact).unwrap().len(),
-        ck_set(&isys, &g2(), &fact).unwrap().count()
+        check_ck_twin_invariance(isys(&session), &g2(), &fact)
+            .unwrap()
+            .len(),
+        ck_set(isys(&session), &g2(), &fact).unwrap().count()
     );
 }
 
 fn e6() {
     for eps in [2u64, 3] {
-        let analysis = r2d2_interpreted(eps, 4, 4, R2d2Mode::Uncertain);
-        let onsets = ladder_onsets(&analysis, 3).unwrap();
-        let ts = analysis.meta.ts;
+        let (builder, meta) = r2d2_parts(eps, 4, 4, R2d2Mode::Uncertain);
+        let session = Engine::from_system(builder).build().unwrap();
+        let onsets = ladder_onsets(isys(&session), &meta, 3).unwrap();
+        let ts = meta.ts;
         print!("eps={eps}: t_S={ts}, (K_R K_D)^k onsets:");
         for (k, o) in onsets.iter().enumerate() {
             print!(" k={k}:{}", o.map_or("never".into(), |t| t.to_string()));
         }
         println!("  (paper: t_S + k*eps, +1 comprehension tick)");
     }
-    let analysis = r2d2_interpreted(2, 4, 4, R2d2Mode::Uncertain);
-    let ck = ck_sent(&analysis).unwrap();
+    let (builder, _meta) = r2d2_parts(2, 4, 4, R2d2Mode::Uncertain);
+    let session = Engine::from_system(builder).build().unwrap();
+    let ck = ck_sent(isys(&session)).unwrap();
     let last_send = 8 * 2;
-    let in_window: usize = analysis
-        .isys
+    let in_window: usize = session
         .system()
+        .unwrap()
         .runs()
         .map(|(rid, run)| {
             (0..last_send.min(run.horizon + 1))
-                .filter(|&t| ck.contains(analysis.isys.world(rid, t)))
+                .filter(|&t| ck.contains(isys(&session).world(rid, t)))
                 .count()
         })
         .sum();
@@ -241,64 +279,72 @@ fn e6() {
         (R2d2Mode::Exact, "sent"),
         (R2d2Mode::Timestamped, "sent_focus"),
     ] {
-        let a = r2d2_interpreted(2, 3, 3, mode);
+        let (builder, meta) = r2d2_parts(2, 3, 3, mode);
+        let session = Engine::from_system(builder).build().unwrap();
         let f = Formula::common(g2(), Formula::atom(atom));
-        let onset = first_time(&a.isys, a.meta.focus_slow, &f).unwrap();
+        let onset = first_time(isys(&session), meta.focus_slow, &f).unwrap();
         println!(
             "{mode:?}: C onset {:?} (paper: t_S + eps = {})",
             onset,
-            a.meta.ts + a.meta.eps
+            meta.ts + meta.eps
         );
     }
 }
 
 fn e7() {
-    let isys = uncertain_start_interpreted(6, false).unwrap();
-    let all_reachable = isys
+    let session = Engine::from_system(uncertain_start_builder(6, false).unwrap())
+        .build()
+        .unwrap();
+    let all_reachable = session
         .system()
+        .unwrap()
         .runs()
-        .all(|(rid, _)| initial_point_reachable_everywhere(&isys, &g2(), rid));
+        .all(|(rid, _)| initial_point_reachable_everywhere(isys(&session), &g2(), rid));
     println!("Lemma 14 conclusion ((r,0) reachable from every (r,t)): {all_reachable}");
     let fact = Formula::atom("sent");
     println!(
         "Theorem 8 conclusion (CK constant along runs): {} violations; C(sent) points: {}",
-        check_ck_run_constant(&isys, &g2(), &fact).unwrap().len(),
-        ck_set(&isys, &g2(), &fact).unwrap().count()
+        check_ck_run_constant(isys(&session), &g2(), &fact)
+            .unwrap()
+            .len(),
+        ck_set(isys(&session), &g2(), &fact).unwrap().count()
     );
-    let gc = uncertain_start_interpreted(8, true).unwrap();
+    let mut gc = Engine::from_system(uncertain_start_builder(8, true).unwrap())
+        .build()
+        .unwrap();
     let f = Formula::common(g2(), Formula::atom("five_oclock"));
-    let ckset = gc.eval(&f).unwrap();
+    let ckset = sat(&mut gc, &f);
     println!(
         "global clock contrast: temporal imprecision holds: {}, C(five_oclock) points: {}",
-        conditions::check_temporal_imprecision(gc.system()).is_none(),
+        conditions::check_temporal_imprecision(gc.system().unwrap()).is_none(),
         ckset.count()
     );
 }
 
 fn e8() {
-    let isys = generals_interpreted(8).unwrap();
+    let session = generals_session(8);
     let fact = Formula::atom("dispatched");
     println!(
         "variant hierarchy C ⊆ C^1 ⊆ C^2 ⊆ C^3 ⊆ C^◇ violations: {:?}",
-        check_variant_hierarchy(&isys, &g2(), &fact, &[1, 2, 3]).unwrap()
+        check_variant_hierarchy(isys(&session), &g2(), &fact, &[1, 2, 3]).unwrap()
     );
-    let suite = sample_sets(&isys, &["dispatched"], 4, 11);
+    let suite = sample_sets(isys(&session), &["dispatched"], 4, 11);
     for op in [ModalOp::CommonEps(g2(), 1), ModalOp::CommonEv(g2())] {
-        let rep = check_s5(&isys, &op, &suite);
+        let rep = check_s5(isys(&session), &op, &suite);
         println!(
             "{op:?}: A3+R1 {}, fixed-point axiom {}, induction rule {}",
             rep.satisfies_a3_r1(),
-            check_fixed_point_axiom(&isys, &op, &suite).is_none(),
-            check_induction_rule(&isys, &op, &suite).is_none()
+            check_fixed_point_axiom(isys(&session), &op, &suite).is_none(),
+            check_induction_rule(isys(&session), &op, &suite).is_none()
         );
     }
 }
 
 fn e9() {
-    let isys = generals_interpreted(8).unwrap();
+    let session = generals_session(8);
     let fact = Formula::atom("dispatched");
     for eps in [Some(1u64), None] {
-        let out = check_theorem9(&isys, &g2(), &fact, eps).unwrap();
+        let out = check_theorem9(isys(&session), &g2(), &fact, eps).unwrap();
         println!(
             "Theorem 9 ({}) hypothesis held: {}, violations: {:?}",
             eps.map_or("C^◇".into(), |e| format!("C^{e}")),
@@ -306,17 +352,18 @@ fn e9() {
             out.violation
         );
     }
-    let ok = ok_interpreted(8).unwrap();
+    let mut ok = Engine::from_system(ok_builder(8).unwrap()).build().unwrap();
     let psi = Formula::atom("psi");
-    let ceps = ok.eval(&Formula::common_eps(g2(), 1, psi.clone())).unwrap();
-    let psi_set = ok.eval(&psi).unwrap();
+    let ceps = sat(&mut ok, &Formula::common_eps(g2(), 1, psi.clone()));
+    let psi_set = sat(&mut ok, &psi);
     let (full, run) = ok
         .system()
+        .unwrap()
         .runs()
         .find(|(_, r)| (0..=r.horizon).all(|t| !ok_psi(r, t)))
         .unwrap();
     let clean_ceps = (0..=run.horizon)
-        .filter(|&t| ceps.contains(ok.world(full, t)))
+        .filter(|&t| ceps.contains(isys(&ok).world(full, t)))
         .count();
     println!(
         "OK protocol: C^1(psi) points {}, with ¬psi {} (A1 fails); clean-run C^1 points {} (success prevents it)",
@@ -327,11 +374,11 @@ fn e9() {
 }
 
 fn e10() {
-    let isys = generals_interpreted(10).unwrap();
+    let session = generals_session(10);
     let fact = Formula::atom("dispatched");
     println!("run: (E^◇)^k depth at t=0 vs C^◇ at t=0");
-    for (rid, depth, cev) in conjunction_gap(&isys, &g2(), &fact, 5).unwrap() {
-        let name = &isys.system().run(rid).name;
+    for (rid, depth, cev) in conjunction_gap(isys(&session), &g2(), &fact, 5).unwrap() {
+        let name = &session.system().unwrap().run(rid).name;
         println!("  {name:<32} depth {depth}  C^◇ {cev}");
     }
 }
@@ -339,9 +386,12 @@ fn e10() {
 fn e11() {
     let mut agree = true;
     for seed in 0..20u64 {
-        let m = random_model(seed, RandomModelSpec::default());
+        let session = Engine::from_model(random_model(seed, RandomModelSpec::default()))
+            .build()
+            .unwrap();
+        let m = session.kripke().unwrap();
         let g = AgentGroup::all(m.num_agents());
-        let fact = Frame::atom_set(&m, "q0").unwrap();
+        let fact = Frame::atom_set(m, "q0").unwrap();
         let mut conj: WorldSet = fact.clone();
         let mut cur = fact.clone();
         for _ in 0..m.num_worlds() + 1 {
@@ -356,23 +406,25 @@ fn e11() {
 
 fn e12() {
     let fact = Formula::atom("sent_v");
-    let sync = skewed_broadcast_interpreted(10, 0).unwrap();
+    let sync = Engine::from_system(skewed_broadcast_builder(10, 0).unwrap())
+        .build()
+        .unwrap();
     println!(
         "Thm 12(a) sync clocks, stamps 3/5/8 counterexamples: {:?} {:?} {:?}",
-        check_theorem12a(&sync, &g2(), &fact, 3).unwrap(),
-        check_theorem12a(&sync, &g2(), &fact, 5).unwrap(),
-        check_theorem12a(&sync, &g2(), &fact, 8).unwrap()
+        check_theorem12a(isys(&sync), &g2(), &fact, 3).unwrap(),
+        check_theorem12a(isys(&sync), &g2(), &fact, 5).unwrap(),
+        check_theorem12a(isys(&sync), &g2(), &fact, 8).unwrap()
     );
-    let skewed = skewed_broadcast_interpreted(10, 2).unwrap();
+    let mut skewed = Engine::from_system(skewed_broadcast_builder(10, 2).unwrap())
+        .build()
+        .unwrap();
     println!(
         "Thm 12(b) skew 2, stamp 6: {:?} | Thm 12(c) stamp 7: {:?}",
-        check_theorem12b(&skewed, &g2(), &fact, 6, 2).unwrap(),
-        check_theorem12c(&skewed, &g2(), &fact, 7).unwrap()
+        check_theorem12b(isys(&skewed), &g2(), &fact, 6, 2).unwrap(),
+        check_theorem12c(isys(&skewed), &g2(), &fact, 7).unwrap()
     );
-    let late = skewed
-        .eval(&Formula::common_ts(g2(), 7, fact.clone()))
-        .unwrap();
-    let early = skewed.eval(&Formula::common_ts(g2(), 1, fact)).unwrap();
+    let late = sat(&mut skewed, &Formula::common_ts(g2(), 7, fact.clone()));
+    let early = sat(&mut skewed, &Formula::common_ts(g2(), 1, fact));
     println!(
         "C^T attainment with skewed clocks: stamp 7 full: {}, stamp 1 empty: {}",
         late.is_full(),
@@ -384,26 +436,29 @@ fn e13() {
     let mut all_s5 = true;
     let mut all_c1c2 = true;
     for seed in 0..25u64 {
-        let m = random_model(seed, RandomModelSpec::default());
-        let suite = sample_sets(&m, &["q0", "q1"], 5, seed);
+        let session = Engine::from_model(random_model(seed, RandomModelSpec::default()))
+            .build()
+            .unwrap();
+        let m = session.kripke().unwrap();
+        let suite = sample_sets(m, &["q0", "q1"], 5, seed);
         let g = AgentGroup::all(m.num_agents());
         for op in [
             ModalOp::Knows(AgentId::new(0)),
             ModalOp::Distributed(g.clone()),
             ModalOp::Common(g.clone()),
         ] {
-            all_s5 &= check_s5(&m, &op, &suite).is_s5();
+            all_s5 &= check_s5(m, &op, &suite).is_s5();
         }
-        all_c1c2 &= check_fixed_point_axiom(&m, &ModalOp::Common(g.clone()), &suite).is_none();
-        all_c1c2 &= check_induction_rule(&m, &ModalOp::Common(g.clone()), &suite).is_none();
-        all_c1c2 &= check_lemma2(&m, &g, &suite).is_none();
+        all_c1c2 &= check_fixed_point_axiom(m, &ModalOp::Common(g.clone()), &suite).is_none();
+        all_c1c2 &= check_induction_rule(m, &ModalOp::Common(g.clone()), &suite).is_none();
+        all_c1c2 &= check_lemma2(m, &g, &suite).is_none();
     }
     println!("Proposition 1 (S5 for K, D, C) on 25 random models: {all_s5}");
     println!("C1 + C2 + Lemma 2 on 25 random models: {all_c1c2}");
 }
 
 fn e14() {
-    use hm_runs::{CompleteHistory, Event, InterpretedSystem, Message, RunBuilder, System};
+    use hm_runs::{CompleteHistory, Event, Message, RunBuilder, System};
     let a = |i: usize| AgentId::new(i);
     let msg = Message::tagged(1);
     let mut runs = Vec::new();
@@ -430,15 +485,17 @@ fn e14() {
             );
         }
     }
-    let isys = InterpretedSystem::builder(System::new(runs), CompleteHistory)
-        .fact("both_aware", |run, t| {
+    let builder = InterpretedSystem::builder(System::new(runs), CompleteHistory).fact(
+        "both_aware",
+        |run, t| {
             run.proc(AgentId::new(0)).events_before(t).count() > 0
                 && run.proc(AgentId::new(1)).events_before(t).count() > 0
-        })
-        .build();
-    let fact = Frame::atom_set(&isys, "both_aware").unwrap();
+        },
+    );
+    let session = Engine::from_system(builder).build().unwrap();
+    let fact = Frame::atom_set(isys(&session), "both_aware").unwrap();
     let beliefs = BeliefAssignment::from_predicates(
-        &isys,
+        isys(&session),
         vec![
             Box::new(move |run: &hm_runs::Run, t: u64| {
                 run.proc(AgentId::new(0)).events_before(t).count() > 0
@@ -452,7 +509,7 @@ fn e14() {
         "eager interpretation knowledge-consistent: {} (paper: no)",
         knowledge_consistent(&beliefs, &fact)
     );
-    match find_internally_consistent_subsystem(&isys, &beliefs, &fact) {
+    match find_internally_consistent_subsystem(isys(&session), &beliefs, &fact) {
         IkcOutcome::Consistent(sub) => println!(
             "internally consistent via a subsystem of {} runs (paper: yes — instant delivery)",
             sub.len()
@@ -462,12 +519,14 @@ fn e14() {
 }
 
 fn e15() {
-    let isys = deadlock_system(3, 12).unwrap();
+    let session = Engine::from_system(deadlock_builder(3, 12).unwrap())
+        .build()
+        .unwrap();
     println!("wait-for graph -> (D, S, E onsets), C^T stamp");
     for targets in [[1u64, 2, 0], [1, 0, 3], [2, 0, 3], [1, 2, 3]] {
-        let traj = discovery_trajectory(&isys, &targets).unwrap();
+        let traj = discovery_trajectory(isys(&session), &targets).unwrap();
         let stamp = if has_deadlock(&targets) {
-            publication_stamp(&isys, &targets).unwrap()
+            publication_stamp(isys(&session), &targets).unwrap()
         } else {
             None
         };
@@ -484,8 +543,7 @@ fn e15() {
 
 fn e16() {
     use hm_runs::{
-        last_event_view, CompleteHistory, Event, InterpretedSystem, Message, RunBuilder,
-        SharedLambda, System,
+        last_event_view, CompleteHistory, Event, Message, RunBuilder, SharedLambda, System,
     };
     let a = |i: usize| AgentId::new(i);
     let msg = Message::tagged(1);
@@ -504,34 +562,35 @@ fn e16() {
                 .build(),
         ]
     };
-    let fact = |b: hm_runs::InterpretedSystemBuilder| -> InterpretedSystem {
-        b.fact("sent_twice", |run: &hm_runs::Run, t: u64| {
+    let fact = |b: hm_runs::InterpretedSystemBuilder| -> Session {
+        Engine::from_system(b.fact("sent_twice", |run: &hm_runs::Run, t: u64| {
             run.proc(AgentId::new(0))
                 .events_before(t + 1)
                 .filter(|e| matches!(e.event, Event::Send { .. }))
                 .count()
                 >= 2
-        })
+        }))
         .build()
+        .unwrap()
     };
-    let full = fact(InterpretedSystem::builder(
+    let mut full = fact(InterpretedSystem::builder(
         System::new(mk_runs()),
         CompleteHistory,
     ));
-    let forgetful = fact(InterpretedSystem::builder(
+    let mut forgetful = fact(InterpretedSystem::builder(
         System::new(mk_runs()),
         last_event_view(),
     ));
-    let lambda = fact(InterpretedSystem::builder(
+    let mut lambda = fact(InterpretedSystem::builder(
         System::new(mk_runs()),
         SharedLambda,
     ));
     let k = Formula::knows(a(0), Formula::atom("sent_twice"));
     println!(
         "K0(sent_twice) points — complete-history: {}, last-event: {}, lambda: {}",
-        full.eval(&k).unwrap().count(),
-        forgetful.eval(&k).unwrap().count(),
-        lambda.eval(&k).unwrap().count()
+        sat(&mut full, &k).count(),
+        sat(&mut forgetful, &k).count(),
+        sat(&mut lambda, &k).count()
     );
     println!("(finest view knows most; lambda knows only valid facts)");
 }
@@ -568,12 +627,14 @@ fn e18() {
         "crash-failure EA, n=3 f=1: {} runs, agreement violations {}, validity violations {}",
         report.runs, report.agreement_violations, report.validity_violations
     );
-    let isys = agreement_interpreted(spec);
+    let session = Engine::from_system(agreement_builder(spec))
+        .build()
+        .unwrap();
     for inputs in [0b110u64, 0b010, 0b000] {
         println!(
             "  inputs {:03b}: C(decision) onset t={:?} (end of round f+1 = 3)",
             inputs,
-            ck_onset_in_clean_run(&isys, inputs).unwrap()
+            ck_onset_in_clean_run(isys(&session), inputs).unwrap()
         );
     }
 }

@@ -252,6 +252,12 @@ pub fn check_safety(system: &System) -> SafetyReport {
 /// `decided1` ("some processor has decided v in its history") and
 /// `min0` ("the minimum input is 0" — the clean-run decision value).
 pub fn agreement_interpreted(spec: AgreementSpec) -> InterpretedSystem {
+    agreement_builder(spec).build()
+}
+
+/// The un-built form of [`agreement_interpreted`], for callers that set
+/// build options (the `hm-engine` scenario registry).
+pub fn agreement_builder(spec: AgreementSpec) -> hm_runs::InterpretedSystemBuilder {
     let system = agreement_system(spec);
     let n = spec.n;
     InterpretedSystem::builder(system, CompleteHistory)
@@ -269,7 +275,6 @@ pub fn agreement_interpreted(spec: AgreementSpec) -> InterpretedSystem {
                 })
             })
         })
-        .build()
 }
 
 /// For the failure-free run with the given inputs, the first time at

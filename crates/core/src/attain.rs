@@ -226,6 +226,19 @@ pub fn uncertain_start_interpreted(
     horizon: u64,
     global_clock: bool,
 ) -> Result<InterpretedSystem, EnumerateError> {
+    Ok(uncertain_start_builder(horizon, global_clock)?.build())
+}
+
+/// The un-built form of [`uncertain_start_interpreted`], for callers that
+/// set build options (the `hm-engine` scenario registry).
+///
+/// # Errors
+///
+/// Propagates [`EnumerateError`] from run enumeration.
+pub fn uncertain_start_builder(
+    horizon: u64,
+    global_clock: bool,
+) -> Result<hm_runs::InterpretedSystemBuilder, EnumerateError> {
     let sys = uncertain_start_system(horizon, global_clock)?;
     Ok(InterpretedSystem::builder(sys, CompleteHistory)
         .fact("sent", |run, t| {
@@ -235,8 +248,7 @@ pub fn uncertain_start_interpreted(
         })
         .fact("five_oclock", |run, t| {
             run.proc(AgentId::new(0)).clock_at(t) == Some(5)
-        })
-        .build())
+        }))
 }
 
 // A small extension trait to keep the twin check readable.

@@ -73,6 +73,23 @@ pub fn has_deadlock(targets: &[u64]) -> bool {
 ///
 /// Propagates [`EnumerateError`].
 pub fn deadlock_system(n: usize, horizon: u64) -> Result<InterpretedSystem, EnumerateError> {
+    Ok(deadlock_builder(n, horizon)?.build())
+}
+
+/// The un-built form of [`deadlock_system`], for callers that set build
+/// options (the `hm-engine` scenario registry).
+///
+/// # Panics
+///
+/// Panics unless `2 <= n <= 4`.
+///
+/// # Errors
+///
+/// Propagates [`EnumerateError`].
+pub fn deadlock_builder(
+    n: usize,
+    horizon: u64,
+) -> Result<hm_runs::InterpretedSystemBuilder, EnumerateError> {
     assert!(
         (2..=4).contains(&n),
         "deadlock demo sized for 2..=4 processes"
@@ -175,8 +192,7 @@ pub fn deadlock_system(n: usize, horizon: u64) -> Result<InterpretedSystem, Enum
                         && matches!(e.event, Event::Act { action, .. } if action == ACT_DETECT)
                 })
             })
-        })
-        .build())
+        }))
 }
 
 /// The knowledge-level trajectory of the fact `deadlock` at a given run:

@@ -14,9 +14,9 @@
 
 use hm_kripke::{AgentGroup, AgentId, WorldSet};
 use hm_logic::{Formula, F};
-use hm_netsim::scenarios::{attacks_in, generals_attack_system, generals_system, ACT_ATTACK};
+use hm_netsim::scenarios::{attacks_in, generals_attack_system, generals_system_opts, ACT_ATTACK};
 use hm_netsim::EnumerateError;
-use hm_runs::{CompleteHistory, Event, InterpretedSystem, RunId};
+use hm_runs::{CompleteHistory, Event, InterpretedSystem, InterpretedSystemBuilder, RunId};
 
 /// The generals' system interpreted under complete history, with the
 /// facts used by the analyses:
@@ -29,7 +29,23 @@ use hm_runs::{CompleteHistory, Event, InterpretedSystem, RunId};
 ///
 /// Propagates [`EnumerateError`] from run enumeration.
 pub fn generals_interpreted(horizon: u64) -> Result<InterpretedSystem, EnumerateError> {
-    Ok(interpret(generals_system(horizon)?))
+    Ok(generals_builder(horizon, false)?.build())
+}
+
+/// The un-built form of [`generals_interpreted`]: the interpretation
+/// builder with the facts attached, for callers (the `hm-engine`
+/// scenario registry) that set build options — minimisation, in
+/// particular — before materialising. `parallel` selects threaded run
+/// enumeration; the system is identical either way.
+///
+/// # Errors
+///
+/// Propagates [`EnumerateError`] from run enumeration.
+pub fn generals_builder(
+    horizon: u64,
+    parallel: bool,
+) -> Result<InterpretedSystemBuilder, EnumerateError> {
+    Ok(builder_with_facts(generals_system_opts(horizon, parallel)?))
 }
 
 /// Interprets an attack-rule system (see
@@ -51,6 +67,10 @@ pub fn generals_attack_interpreted(
 }
 
 fn interpret(system: hm_runs::System) -> InterpretedSystem {
+    builder_with_facts(system).build()
+}
+
+fn builder_with_facts(system: hm_runs::System) -> InterpretedSystemBuilder {
     InterpretedSystem::builder(system, CompleteHistory)
         .fact("dispatched", |run, t| {
             run.proc(AgentId::new(0))
@@ -64,7 +84,6 @@ fn interpret(system: hm_runs::System) -> InterpretedSystem {
                     .any(|e| matches!(e.event, Event::Act { action, .. } if action == ACT_ATTACK))
             })
         })
-        .build()
 }
 
 /// The interleaved knowledge-ladder formula of depth `d` for fact `m`:

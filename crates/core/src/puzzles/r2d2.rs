@@ -15,7 +15,7 @@
 use hm_kripke::{AgentGroup, AgentId};
 use hm_logic::{EvalError, Formula, F};
 use hm_netsim::scenarios::{r2d2, R2d2, R2d2Mode};
-use hm_runs::{CompleteHistory, Event, InterpretedSystem, RunId};
+use hm_runs::{CompleteHistory, Event, InterpretedSystem, InterpretedSystemBuilder, RunId};
 
 /// The interpreted R2–D2 system plus the scenario metadata.
 pub struct R2d2Analysis {
@@ -31,9 +31,26 @@ pub struct R2d2Analysis {
 /// sent `m` at exactly `t_S`" (used in the timestamped variant, where
 /// message content distinguishes send times).
 pub fn r2d2_interpreted(eps: u64, pre: usize, post: usize, mode: R2d2Mode) -> R2d2Analysis {
+    let (builder, meta) = r2d2_parts(eps, pre, post, mode);
+    R2d2Analysis {
+        isys: builder.build(),
+        meta,
+    }
+}
+
+/// The un-built form of [`r2d2_interpreted`]: the interpretation builder
+/// (facts attached) alongside the scenario metadata, for callers that
+/// set build options before materialising — the `hm-engine` scenario
+/// registry in particular.
+pub fn r2d2_parts(
+    eps: u64,
+    pre: usize,
+    post: usize,
+    mode: R2d2Mode,
+) -> (InterpretedSystemBuilder, R2d2) {
     let meta = r2d2(eps, pre, post, mode);
     let ts = meta.ts;
-    let isys = InterpretedSystem::builder(meta.system.clone(), CompleteHistory)
+    let builder = InterpretedSystem::builder(meta.system.clone(), CompleteHistory)
         .fact("sent", |run, t| {
             run.proc(AgentId::new(0))
                 .events_before(t + 1)
@@ -43,9 +60,8 @@ pub fn r2d2_interpreted(eps: u64, pre: usize, post: usize, mode: R2d2Mode) -> R2
             run.proc(AgentId::new(0))
                 .events_before(t + 1)
                 .any(|e| matches!(e.event, Event::Send { .. }) && e.time == ts)
-        })
-        .build();
-    R2d2Analysis { isys, meta }
+        });
+    (builder, meta)
 }
 
 /// The alternating ladder `(K_R K_D)^k φ` (`k = 0` is `φ` itself).
@@ -78,11 +94,15 @@ pub fn first_time(
 /// # Errors
 ///
 /// Propagates [`EvalError`].
-pub fn ladder_onsets(analysis: &R2d2Analysis, k_max: usize) -> Result<Vec<Option<u64>>, EvalError> {
+pub fn ladder_onsets(
+    isys: &InterpretedSystem,
+    meta: &R2d2,
+    k_max: usize,
+) -> Result<Vec<Option<u64>>, EvalError> {
     let mut out = Vec::with_capacity(k_max + 1);
     for k in 0..=k_max {
         let f = rd_ladder(k, Formula::atom("sent"));
-        out.push(first_time(&analysis.isys, analysis.meta.focus_slow, &f)?);
+        out.push(first_time(isys, meta.focus_slow, &f)?);
     }
     Ok(out)
 }
@@ -92,10 +112,8 @@ pub fn ladder_onsets(analysis: &R2d2Analysis, k_max: usize) -> Result<Vec<Option
 /// # Errors
 ///
 /// Propagates [`EvalError`].
-pub fn ck_sent(analysis: &R2d2Analysis) -> Result<hm_kripke::WorldSet, EvalError> {
-    analysis
-        .isys
-        .eval(&Formula::common(AgentGroup::all(2), Formula::atom("sent")))
+pub fn ck_sent(isys: &InterpretedSystem) -> Result<hm_kripke::WorldSet, EvalError> {
+    isys.eval(&Formula::common(AgentGroup::all(2), Formula::atom("sent")))
 }
 
 #[cfg(test)]
@@ -110,7 +128,7 @@ mod tests {
         // convention). The increments must be exactly ε.
         for eps in [2u64, 3] {
             let analysis = r2d2_interpreted(eps, 4, 4, R2d2Mode::Uncertain);
-            let onsets = ladder_onsets(&analysis, 3).unwrap();
+            let onsets = ladder_onsets(&analysis.isys, &analysis.meta, 3).unwrap();
             let ts = analysis.meta.ts;
             assert_eq!(onsets[0], Some(ts), "level 0 = the fact itself");
             for k in 1..=3usize {
@@ -128,7 +146,7 @@ mod tests {
     fn common_knowledge_never_attained_with_uncertainty() {
         let (pre, post, eps) = (3usize, 3usize, 2u64);
         let analysis = r2d2_interpreted(eps, pre, post, R2d2Mode::Uncertain);
-        let ck = ck_sent(&analysis).unwrap();
+        let ck = ck_sent(&analysis.isys).unwrap();
         // The chain r_j ~R2 r'_j ~D2 r_{j+1} … always reaches a run whose
         // send lies in the future, so C sent holds nowhere — as long as
         // such a run exists, i.e. before the finite family's last send
@@ -149,7 +167,7 @@ mod tests {
     #[test]
     fn exact_delay_attains_common_knowledge_at_ts_plus_eps() {
         let analysis = r2d2_interpreted(3, 2, 2, R2d2Mode::Exact);
-        let ck = ck_sent(&analysis).unwrap();
+        let ck = ck_sent(&analysis.isys).unwrap();
         let ts = analysis.meta.ts;
         let eps = analysis.meta.eps;
         let focus = analysis.meta.focus_slow;

@@ -219,6 +219,16 @@ pub fn conjunction_gap(
 ///
 /// Propagates [`EnumerateError`].
 pub fn ok_interpreted(horizon: u64) -> Result<InterpretedSystem, EnumerateError> {
+    Ok(ok_builder(horizon)?.build())
+}
+
+/// The un-built form of [`ok_interpreted`], for callers that set build
+/// options (the `hm-engine` scenario registry).
+///
+/// # Errors
+///
+/// Propagates [`EnumerateError`].
+pub fn ok_builder(horizon: u64) -> Result<hm_runs::InterpretedSystemBuilder, EnumerateError> {
     let sys = ok_protocol_system(horizon)?;
     Ok(InterpretedSystem::builder(sys, CompleteHistory)
         .fact("psi", ok_psi)
@@ -226,8 +236,7 @@ pub fn ok_interpreted(horizon: u64) -> Result<InterpretedSystem, EnumerateError>
             run.proc(AgentId::new(0))
                 .events_before(t + 1)
                 .any(|e| matches!(e.event, hm_runs::Event::Send { msg, .. } if msg.tag == TAG_OK))
-        })
-        .build())
+        }))
 }
 
 /// A two-processor broadcast with skewed clocks, for Theorem 12:
@@ -242,6 +251,19 @@ pub fn skewed_broadcast_interpreted(
     horizon: u64,
     skew: u64,
 ) -> Result<InterpretedSystem, EnumerateError> {
+    Ok(skewed_broadcast_builder(horizon, skew)?.build())
+}
+
+/// The un-built form of [`skewed_broadcast_interpreted`], for callers
+/// that set build options (the `hm-engine` scenario registry).
+///
+/// # Errors
+///
+/// Propagates [`EnumerateError`].
+pub fn skewed_broadcast_builder(
+    horizon: u64,
+    skew: u64,
+) -> Result<hm_runs::InterpretedSystemBuilder, EnumerateError> {
     let protocol = FnProtocol::new("broadcast", |v: &LocalView<'_>| {
         if v.me.index() == 0 && v.clock == Some(1) && v.sent().count() == 0 {
             vec![Command::Send {
@@ -260,13 +282,13 @@ pub fn skewed_broadcast_interpreted(
         })
         .collect();
     let sys = enumerate_system(&protocol, &SynchronousDelay { delay: 1 }, &specs, 64)?;
-    Ok(InterpretedSystem::builder(sys, CompleteHistory)
-        .fact("sent_v", |run, t| {
+    Ok(
+        InterpretedSystem::builder(sys, CompleteHistory).fact("sent_v", |run, t| {
             run.proc(AgentId::new(0))
                 .events_before(t + 1)
                 .any(|e| matches!(e.event, hm_runs::Event::Send { .. }))
-        })
-        .build())
+        }),
+    )
 }
 
 /// Theorem 12(a): with identical clocks, at any point where the clock

@@ -1,0 +1,662 @@
+//! The compiled epistemic query engine: one builder-style pipeline from
+//! scenario to verdict.
+//!
+//! Every experiment of Halpern & Moses, *Knowledge and Common Knowledge
+//! in a Distributed Environment* (PODC '84; journal version JACM 1990),
+//! walks the same pipeline: enumerate runs (Sections 4–8), build the
+//! interpreted system (Section 6), evaluate knowledge and
+//! common-knowledge formulas (Appendix A). This crate makes that
+//! pipeline a first-class API instead of hand-wired calls:
+//!
+//! ```text
+//! Engine::for_scenario("generals")   // or from_system / from_model …
+//!     .horizon(8)                    // options
+//!     .minimize(true)
+//!     .parallel_enumeration(true)
+//!     .build()?                      // -> Session
+//!     .ask(&Query::parse("C{0,1} dispatched")?)?  // -> Verdict
+//! ```
+//!
+//! A [`Session`] compiles each formula **once** (`hm-logic`'s
+//! [`compile`]: interned atoms and groups, preallocated fixed-point
+//! slots), binds its atom table against the frame once, and caches the
+//! result, so asking the same question repeatedly — or against sweeps of
+//! scenario variants — stops paying per-node `&str` atom resolution.
+//! With [`Engine::minimize`], construction folds bisimulation
+//! minimisation in, and every quotient-safe query (no temporal
+//! operators, no `D_G`) is answered on the quotient with verdicts mapped
+//! back to the original worlds — the answers are identical by
+//! bisimulation invariance, which the test suite checks across the
+//! E1–E18 formula suite.
+//!
+//! # Example
+//!
+//! ```
+//! use hm_engine::{Engine, Query};
+//! let mut session = Engine::for_scenario("generals").horizon(8).build()?;
+//! // B knows the messenger was dispatched somewhere; it is never
+//! // common knowledge (Corollary 6).
+//! let kb = session.ask(&Query::parse("K1 dispatched")?)?;
+//! assert!(!kb.is_empty());
+//! let ck = session.ask(&Query::parse("C{0,1} dispatched")?)?;
+//! assert!(ck.is_empty());
+//! # Ok::<(), hm_engine::EngineError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod scenario;
+
+pub use scenario::{Scenario, ScenarioFrame, ScenarioParams, ScenarioRegistry};
+
+use hm_kripke::{minimize, KripkeModel, Minimized, WorldId, WorldSet};
+use hm_logic::{compile, Bound, CompiledFormula, EvalError, Formula, Frame, ParseError, F};
+use hm_netsim::EnumerateError;
+use hm_runs::{InterpretedSystem, InterpretedSystemBuilder, RunId, System};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors of the engine pipeline.
+#[derive(Debug)]
+pub enum EngineError {
+    /// No scenario of this name is registered.
+    UnknownScenario(String),
+    /// Run enumeration failed (scenario construction).
+    Enumerate(EnumerateError),
+    /// Formula compilation or evaluation failed.
+    Eval(EvalError),
+    /// Query text failed to parse.
+    Parse(ParseError),
+    /// A run/time-addressed question was asked of a frame without run
+    /// structure (a plain Kripke model).
+    NoRunStructure,
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::UnknownScenario(name) => write!(f, "unknown scenario `{name}`"),
+            EngineError::Enumerate(e) => write!(f, "enumeration: {e}"),
+            EngineError::Eval(e) => write!(f, "evaluation: {e}"),
+            EngineError::Parse(e) => write!(f, "parse: {e}"),
+            EngineError::NoRunStructure => {
+                write!(
+                    f,
+                    "frame has no run/time structure for a point-addressed query"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<EnumerateError> for EngineError {
+    fn from(e: EnumerateError) -> Self {
+        EngineError::Enumerate(e)
+    }
+}
+
+impl From<EvalError> for EngineError {
+    fn from(e: EvalError) -> Self {
+        EngineError::Eval(e)
+    }
+}
+
+impl From<ParseError> for EngineError {
+    fn from(e: ParseError) -> Self {
+        EngineError::Parse(e)
+    }
+}
+
+/// A question to ask a [`Session`]: a closed formula of the epistemic
+/// µ-calculus (see `hm-logic` for the syntax).
+#[derive(Debug, Clone)]
+pub struct Query {
+    formula: F,
+}
+
+impl Query {
+    /// Parses the textual syntax (e.g. `"K0 K1 dispatched"`).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Parse`].
+    pub fn parse(src: &str) -> Result<Self, EngineError> {
+        Ok(Query {
+            formula: hm_logic::parse(src)?,
+        })
+    }
+
+    /// Wraps an already-built formula.
+    pub fn new(formula: F) -> Self {
+        Query { formula }
+    }
+
+    /// The underlying formula.
+    pub fn formula(&self) -> &F {
+        &self.formula
+    }
+}
+
+impl From<F> for Query {
+    fn from(formula: F) -> Self {
+        Query { formula }
+    }
+}
+
+impl std::str::FromStr for Query {
+    type Err = EngineError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Query::parse(s)
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.formula)
+    }
+}
+
+/// The answer to a [`Query`]: the set of worlds (points) where the
+/// formula holds, over the session frame's universe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Verdict {
+    satisfying: WorldSet,
+}
+
+impl Verdict {
+    /// The satisfying set.
+    pub fn satisfying(&self) -> &WorldSet {
+        &self.satisfying
+    }
+
+    /// Number of satisfying worlds.
+    pub fn count(&self) -> usize {
+        self.satisfying.count()
+    }
+
+    /// `true` iff the formula holds nowhere.
+    pub fn is_empty(&self) -> bool {
+        self.satisfying.is_empty()
+    }
+
+    /// `true` iff the formula is valid in the system (holds everywhere) —
+    /// the Section 6 validity notion.
+    pub fn is_valid(&self) -> bool {
+        self.satisfying.is_full()
+    }
+
+    /// `true` iff the formula holds at `w`.
+    pub fn holds_at(&self, w: WorldId) -> bool {
+        self.satisfying.contains(w)
+    }
+}
+
+enum Source {
+    Named(String),
+    Scenario(Box<dyn Scenario>),
+    Builder(InterpretedSystemBuilder),
+    Interpreted(Box<InterpretedSystem>),
+    Model(KripkeModel),
+}
+
+/// The pipeline builder: pick a source, set options, [`build`] a
+/// [`Session`].
+///
+/// [`build`]: Engine::build
+pub struct Engine {
+    source: Source,
+    params: ScenarioParams,
+    minimize: bool,
+}
+
+impl Engine {
+    fn new(source: Source) -> Self {
+        Engine {
+            source,
+            params: ScenarioParams::default(),
+            minimize: false,
+        }
+    }
+
+    /// Starts from a named scenario of the built-in registry
+    /// ([`ScenarioRegistry::builtin`]): `"muddy4"`, `"generals"`,
+    /// `"r2d2"`, `"ok"`, ….
+    pub fn for_scenario(name: impl Into<String>) -> Engine {
+        Engine::new(Source::Named(name.into()))
+    }
+
+    /// Starts from a custom [`Scenario`] value.
+    pub fn with_scenario(scenario: impl Scenario + 'static) -> Engine {
+        Engine::new(Source::Scenario(Box::new(scenario)))
+    }
+
+    /// Starts from an interpretation builder — a [`System`] of runs with
+    /// view and facts attached (`InterpretedSystem::builder(..).fact(..)`)
+    /// — leaving materialisation (and the minimisation fold) to the
+    /// engine.
+    pub fn from_system(builder: InterpretedSystemBuilder) -> Engine {
+        Engine::new(Source::Builder(builder))
+    }
+
+    /// Starts from an already-materialised interpreted system.
+    pub fn from_interpreted(isys: InterpretedSystem) -> Engine {
+        Engine::new(Source::Interpreted(Box::new(isys)))
+    }
+
+    /// Starts from a finite Kripke model.
+    pub fn from_model(model: KripkeModel) -> Engine {
+        Engine::new(Source::Model(model))
+    }
+
+    /// Overrides the scenario's default horizon (scenario sources only;
+    /// ignored for pre-built sources, whose horizon is already fixed).
+    pub fn horizon(mut self, h: u64) -> Self {
+        self.params.horizon = Some(h);
+        self
+    }
+
+    /// Folds bisimulation minimisation into construction: quotient-safe
+    /// queries (no temporal operators, no `D_G`) are answered on the
+    /// coarsest-bisimulation quotient, with verdicts mapped back to the
+    /// original universe — identical answers, usually far fewer worlds.
+    pub fn minimize(mut self, on: bool) -> Self {
+        self.minimize = on;
+        self
+    }
+
+    /// Explores adversary branches on scoped threads during run
+    /// enumeration, where the scenario supports it. The resulting system
+    /// is identical to sequential enumeration.
+    pub fn parallel_enumeration(mut self, on: bool) -> Self {
+        self.params.parallel = on;
+        self
+    }
+
+    /// Runs the pipeline: construct the frame, apply options, return a
+    /// query [`Session`].
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::UnknownScenario`] for unregistered names, or
+    /// [`EngineError::Enumerate`] from scenario construction.
+    pub fn build(self) -> Result<Session, EngineError> {
+        let frame = match self.source {
+            Source::Named(name) => {
+                let registry = ScenarioRegistry::builtin();
+                let scenario = registry
+                    .get(&name)
+                    .ok_or(EngineError::UnknownScenario(name))?;
+                scenario.build(&self.params)?
+            }
+            Source::Scenario(s) => s.build(&self.params)?,
+            Source::Builder(b) => ScenarioFrame::Interpreted(b),
+            Source::Interpreted(isys) => {
+                return Ok(Session::new(SessionFrame::Interpreted(isys), self.minimize))
+            }
+            Source::Model(m) => ScenarioFrame::Model(m),
+        };
+        Ok(match frame {
+            ScenarioFrame::Model(m) => Session::new(SessionFrame::Model(m), self.minimize),
+            ScenarioFrame::Interpreted(b) => Session::new(
+                SessionFrame::Interpreted(Box::new(b.minimized(self.minimize).build())),
+                self.minimize,
+            ),
+        })
+    }
+}
+
+enum SessionFrame {
+    Model(KripkeModel),
+    Interpreted(Box<InterpretedSystem>),
+}
+
+struct CachedQuery {
+    compiled: CompiledFormula,
+    full: Bound,
+    /// Present when the query is quotient-safe and a quotient exists.
+    quotient: Option<Bound>,
+}
+
+/// An open query session against one frame: compiles each distinct
+/// formula once, binds its atom table once per frame, and answers
+/// [`Query`] values. Obtain one from [`Engine::build`].
+pub struct Session {
+    frame: SessionFrame,
+    /// Quotient for sources that arrive pre-built (model or interpreted
+    /// system without a folded quotient).
+    late_quotient: Option<Minimized>,
+    minimize: bool,
+    cache: HashMap<Formula, CachedQuery>,
+}
+
+impl fmt::Debug for Session {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Session")
+            .field("worlds", &self.num_worlds())
+            .field("minimize", &self.minimize)
+            .field("compiled_queries", &self.cache.len())
+            .finish()
+    }
+}
+
+impl Session {
+    fn new(frame: SessionFrame, minimize_on: bool) -> Self {
+        let late_quotient = if minimize_on {
+            match &frame {
+                SessionFrame::Model(m) => Some(minimize(m)),
+                SessionFrame::Interpreted(isys) if isys.quotient().is_none() => {
+                    Some(minimize(isys.model()))
+                }
+                SessionFrame::Interpreted(_) => None,
+            }
+        } else {
+            None
+        };
+        Session {
+            frame,
+            late_quotient,
+            minimize: minimize_on,
+            cache: HashMap::new(),
+        }
+    }
+
+    /// The frame queries are evaluated against.
+    pub fn frame(&self) -> &dyn Frame {
+        match &self.frame {
+            SessionFrame::Model(m) => m,
+            SessionFrame::Interpreted(isys) => &**isys,
+        }
+    }
+
+    /// The interpreted system, when the session has run structure.
+    pub fn interpreted(&self) -> Option<&InterpretedSystem> {
+        match &self.frame {
+            SessionFrame::Interpreted(isys) => Some(&**isys),
+            SessionFrame::Model(_) => None,
+        }
+    }
+
+    /// The underlying system of runs, when the session has run structure.
+    pub fn system(&self) -> Option<&System> {
+        self.interpreted().map(InterpretedSystem::system)
+    }
+
+    /// The Kripke model, for model-sourced sessions.
+    pub fn kripke(&self) -> Option<&KripkeModel> {
+        match &self.frame {
+            SessionFrame::Model(m) => Some(m),
+            SessionFrame::Interpreted(_) => None,
+        }
+    }
+
+    /// The active bisimulation quotient, if minimisation is on.
+    pub fn quotient(&self) -> Option<&Minimized> {
+        self.late_quotient.as_ref().or_else(|| match &self.frame {
+            SessionFrame::Interpreted(isys) => isys.quotient(),
+            SessionFrame::Model(_) => None,
+        })
+    }
+
+    /// Number of worlds (points) in the frame.
+    pub fn num_worlds(&self) -> usize {
+        self.frame().num_worlds()
+    }
+
+    /// Number of agents.
+    pub fn num_agents(&self) -> usize {
+        self.frame().num_agents()
+    }
+
+    /// Diagnostic name of a world: the point name `run@t` for
+    /// interpreted sessions, the build-time label for model sessions.
+    pub fn world_name(&self, w: WorldId) -> String {
+        match &self.frame {
+            SessionFrame::Model(m) => m.world_label(w).to_string(),
+            SessionFrame::Interpreted(isys) => isys.point_name(w),
+        }
+    }
+
+    /// Answers a query: the full satisfying set as a [`Verdict`].
+    ///
+    /// The formula is compiled and bound on first ask and cached;
+    /// subsequent asks of an equal formula run the compiled program
+    /// directly. Quotient-safe queries under `minimize` are evaluated on
+    /// the quotient and mapped back.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Eval`] for ill-formed formulas (unknown atom,
+    /// unbound variable, non-monotone binder, agent out of range,
+    /// temporal operator on a static frame).
+    pub fn ask(&mut self, query: &Query) -> Result<Verdict, EngineError> {
+        Ok(Verdict {
+            satisfying: self.satisfying(query)?,
+        })
+    }
+
+    /// The satisfying set of a query (see [`ask`](Self::ask)).
+    ///
+    /// # Errors
+    ///
+    /// See [`ask`](Self::ask).
+    pub fn satisfying(&mut self, query: &Query) -> Result<WorldSet, EngineError> {
+        let f: &Formula = query.formula();
+        if !self.cache.contains_key(f) {
+            let compiled = compile(f)?;
+            let full = compiled.bind(self.frame())?;
+            let quotient = if self.minimize && compiled.quotient_safe() {
+                match self.quotient() {
+                    Some(q) => Some(compiled.bind(&q.model)?),
+                    None => None,
+                }
+            } else {
+                None
+            };
+            self.cache.insert(
+                f.clone(),
+                CachedQuery {
+                    compiled,
+                    full,
+                    quotient,
+                },
+            );
+        }
+        let cached = &self.cache[f];
+        if let Some(qbound) = &cached.quotient {
+            let q = self.quotient().expect("bound against existing quotient");
+            let on_quotient = cached.compiled.eval_bound(&q.model, qbound);
+            let n = self.frame().num_worlds();
+            let mut out = WorldSet::empty(n);
+            for w in 0..n {
+                if on_quotient.contains(q.image(WorldId::new(w))) {
+                    out.insert(WorldId::new(w));
+                }
+            }
+            Ok(out)
+        } else {
+            Ok(cached.compiled.eval_bound(self.frame(), &cached.full))
+        }
+    }
+
+    /// `true` iff the query is valid in the system (holds at every
+    /// world).
+    ///
+    /// # Errors
+    ///
+    /// See [`ask`](Self::ask).
+    pub fn valid(&mut self, query: &Query) -> Result<bool, EngineError> {
+        Ok(self.satisfying(query)?.is_full())
+    }
+
+    /// `true` iff the query holds at point `(run, t)` (interpreted
+    /// sessions only).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::NoRunStructure`] on model sessions; otherwise see
+    /// [`ask`](Self::ask).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(run, t)` is outside the system.
+    pub fn holds_at(&mut self, query: &Query, run: RunId, t: u64) -> Result<bool, EngineError> {
+        let w = match &self.frame {
+            SessionFrame::Interpreted(isys) => isys.world(run, t),
+            SessionFrame::Model(_) => return Err(EngineError::NoRunStructure),
+        };
+        Ok(self.satisfying(query)?.contains(w))
+    }
+
+    /// Number of distinct formulas compiled so far (diagnostics).
+    pub fn compiled_queries(&self) -> usize {
+        self.cache.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hm_kripke::AgentId;
+    use hm_runs::{CompleteHistory, Event, Message, RunBuilder};
+
+    #[test]
+    fn scenario_pipeline_answers_queries() {
+        let mut session = Engine::for_scenario("generals").horizon(8).build().unwrap();
+        let kb = session
+            .ask(&Query::parse("K1 dispatched").unwrap())
+            .unwrap();
+        assert!(!kb.is_empty());
+        let ck = session
+            .ask(&Query::parse("C{0,1} dispatched").unwrap())
+            .unwrap();
+        assert!(ck.is_empty(), "Corollary 6");
+        assert_eq!(session.compiled_queries(), 2);
+        // Asking again reuses the cache.
+        session
+            .ask(&Query::parse("K1 dispatched").unwrap())
+            .unwrap();
+        assert_eq!(session.compiled_queries(), 2);
+    }
+
+    #[test]
+    fn unknown_scenario_errors() {
+        let err = Engine::for_scenario("zap").build().unwrap_err();
+        assert!(matches!(err, EngineError::UnknownScenario(_)));
+        assert!(err.to_string().contains("zap"));
+    }
+
+    #[test]
+    fn from_system_pipeline() {
+        let msg = Message::tagged(1);
+        let sent = RunBuilder::new("sent", 2, 3)
+            .wake(AgentId::new(0), 0, 0)
+            .wake(AgentId::new(1), 0, 0)
+            .event(
+                AgentId::new(0),
+                1,
+                Event::Send {
+                    to: AgentId::new(1),
+                    msg,
+                },
+            )
+            .event(
+                AgentId::new(1),
+                2,
+                Event::Recv {
+                    from: AgentId::new(0),
+                    msg,
+                },
+            )
+            .build();
+        let lost = RunBuilder::new("lost", 2, 3)
+            .wake(AgentId::new(0), 0, 0)
+            .wake(AgentId::new(1), 0, 0)
+            .event(
+                AgentId::new(0),
+                1,
+                Event::Send {
+                    to: AgentId::new(1),
+                    msg,
+                },
+            )
+            .build();
+        let builder = InterpretedSystem::builder(System::new(vec![sent, lost]), CompleteHistory)
+            .fact("sent", |run, t| {
+                run.proc(AgentId::new(0))
+                    .events_before(t + 1)
+                    .any(|e| matches!(e.event, Event::Send { .. }))
+            });
+        let mut session = Engine::from_system(builder).build().unwrap();
+        let q = Query::parse("K1 sent").unwrap();
+        assert!(session.holds_at(&q, RunId(0), 3).unwrap());
+        assert!(!session.holds_at(&q, RunId(1), 3).unwrap());
+        assert!(session
+            .valid(&Query::parse("sent -> sent").unwrap())
+            .unwrap());
+    }
+
+    #[test]
+    fn minimized_sessions_agree_with_raw() {
+        let mut raw = Engine::for_scenario("generals").horizon(8).build().unwrap();
+        let mut min = Engine::for_scenario("generals")
+            .horizon(8)
+            .minimize(true)
+            .build()
+            .unwrap();
+        assert!(min.quotient().is_some());
+        assert!(
+            min.quotient().unwrap().model.num_worlds() < min.num_worlds(),
+            "generals quotient actually shrinks"
+        );
+        for src in [
+            "dispatched",
+            "K0 dispatched",
+            "K1 K0 K1 dispatched",
+            "E{0,1} dispatched",
+            "C{0,1} dispatched",
+            "S{0,1} !dispatched",
+            // Temporal and D fall back to the full frame.
+            "even dispatched",
+            "D{0,1} dispatched",
+        ] {
+            let q = Query::parse(src).unwrap();
+            assert_eq!(
+                raw.satisfying(&q).unwrap(),
+                min.satisfying(&q).unwrap(),
+                "{src}"
+            );
+        }
+    }
+
+    #[test]
+    fn model_sessions_reject_point_queries() {
+        let mut session = Engine::for_scenario("muddy4").build().unwrap();
+        let q = Query::parse("m").unwrap();
+        assert!(!session.ask(&q).unwrap().is_empty());
+        assert!(matches!(
+            session.holds_at(&q, RunId(0), 0),
+            Err(EngineError::NoRunStructure)
+        ));
+        assert!(session.world_name(WorldId::new(0)).starts_with(""));
+    }
+
+    #[test]
+    fn parallel_enumeration_same_session_answers() {
+        let mut seq = Engine::for_scenario("generals").horizon(8).build().unwrap();
+        let mut par = Engine::for_scenario("generals")
+            .horizon(8)
+            .parallel_enumeration(true)
+            .build()
+            .unwrap();
+        let q = Query::parse("K0 K1 dispatched").unwrap();
+        assert_eq!(seq.satisfying(&q).unwrap(), par.satisfying(&q).unwrap());
+        assert_eq!(
+            seq.system().unwrap().num_runs(),
+            par.system().unwrap().num_runs()
+        );
+    }
+}

@@ -1,0 +1,242 @@
+//! The scenario registry: the paper's worked examples, constructible by
+//! name.
+//!
+//! Every experiment in Halpern–Moses walks the same pipeline — enumerate
+//! runs, interpret them, evaluate formulas — against one of a small set
+//! of worked examples. A [`Scenario`] packages the first two steps: it
+//! knows how to produce either a finite Kripke model or an
+//! interpretation *builder* (facts attached, not yet materialised), so
+//! the [`Engine`](crate::Engine) can apply its options — horizon,
+//! minimisation, parallel enumeration — uniformly before building.
+//!
+//! [`ScenarioRegistry::builtin`] registers the worked examples:
+//! `muddy2`…`muddy8` (Section 2), `generals` (Section 4), `r2d2` /
+//! `r2d2-exact` / `r2d2-timestamped` (Section 8), and `ok` (Section 11).
+//! Custom scenarios implement [`Scenario`] and go through
+//! [`Engine::with_scenario`](crate::Engine::with_scenario) or
+//! [`ScenarioRegistry::register`].
+
+use crate::EngineError;
+use hm_core::puzzles::attack::generals_builder;
+use hm_core::puzzles::muddy::MuddyChildren;
+use hm_core::puzzles::r2d2::r2d2_parts;
+use hm_core::variants::ok_builder;
+use hm_kripke::KripkeModel;
+use hm_netsim::scenarios::R2d2Mode;
+use hm_runs::InterpretedSystemBuilder;
+
+/// Options the engine forwards into scenario construction.
+#[derive(Debug, Clone, Default)]
+pub struct ScenarioParams {
+    /// Horizon override; `None` uses the scenario's default.
+    pub horizon: Option<u64>,
+    /// Explore adversary branches on threads where the scenario supports
+    /// it (the run set is identical either way).
+    pub parallel: bool,
+}
+
+impl ScenarioParams {
+    /// The horizon to use, given the scenario's default.
+    pub fn horizon_or(&self, default: u64) -> u64 {
+        self.horizon.unwrap_or(default)
+    }
+}
+
+/// What a scenario hands to the engine: either a static Kripke model or
+/// an interpretation builder still open to build options.
+pub enum ScenarioFrame {
+    /// A finite S5 model (e.g. the muddy-children cube).
+    Model(KripkeModel),
+    /// An interpreted-system builder with view and facts attached.
+    Interpreted(InterpretedSystemBuilder),
+}
+
+/// A worked example constructible by name: the paper's scenarios (and
+/// user extensions) register behind this trait so the engine — and the
+/// experiment driver — can build any of them through one pipeline.
+pub trait Scenario {
+    /// Registry name (e.g. `"generals"`).
+    fn name(&self) -> String;
+
+    /// Constructs the frame under the engine's options.
+    ///
+    /// # Errors
+    ///
+    /// Typically [`EngineError::Enumerate`] from run enumeration.
+    fn build(&self, params: &ScenarioParams) -> Result<ScenarioFrame, EngineError>;
+}
+
+/// A name-indexed collection of scenarios.
+pub struct ScenarioRegistry {
+    entries: Vec<Box<dyn Scenario>>,
+}
+
+impl ScenarioRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        ScenarioRegistry {
+            entries: Vec::new(),
+        }
+    }
+
+    /// The registry of built-in worked examples (see the module docs).
+    pub fn builtin() -> Self {
+        let mut reg = ScenarioRegistry::new();
+        for n in 2..=8 {
+            reg.register(Box::new(Muddy { n }));
+        }
+        reg.register(Box::new(Generals));
+        for mode in [R2d2Mode::Uncertain, R2d2Mode::Exact, R2d2Mode::Timestamped] {
+            reg.register(Box::new(R2d2Scenario {
+                eps: 2,
+                pre: 3,
+                post: 3,
+                mode,
+            }));
+        }
+        reg.register(Box::new(OkProtocol));
+        reg
+    }
+
+    /// Adds a scenario; later registrations shadow earlier ones of the
+    /// same name.
+    pub fn register(&mut self, scenario: Box<dyn Scenario>) {
+        self.entries.push(scenario);
+    }
+
+    /// Looks up a scenario by name (latest registration wins).
+    pub fn get(&self, name: &str) -> Option<&dyn Scenario> {
+        self.entries
+            .iter()
+            .rev()
+            .find(|s| s.name() == name)
+            .map(Box::as_ref)
+    }
+
+    /// The registered names, in registration order.
+    pub fn names(&self) -> Vec<String> {
+        self.entries.iter().map(|s| s.name()).collect()
+    }
+}
+
+impl Default for ScenarioRegistry {
+    fn default() -> Self {
+        ScenarioRegistry::builtin()
+    }
+}
+
+/// Section 2: the muddy-children cube with `n` children.
+struct Muddy {
+    n: usize,
+}
+
+impl Scenario for Muddy {
+    fn name(&self) -> String {
+        format!("muddy{}", self.n)
+    }
+
+    fn build(&self, _params: &ScenarioParams) -> Result<ScenarioFrame, EngineError> {
+        Ok(ScenarioFrame::Model(
+            MuddyChildren::new(self.n).model().clone(),
+        ))
+    }
+}
+
+/// Section 4: the coordinated-attack handshake over the lossy messenger
+/// (default horizon 8).
+struct Generals;
+
+impl Scenario for Generals {
+    fn name(&self) -> String {
+        "generals".into()
+    }
+
+    fn build(&self, params: &ScenarioParams) -> Result<ScenarioFrame, EngineError> {
+        Ok(ScenarioFrame::Interpreted(generals_builder(
+            params.horizon_or(8),
+            params.parallel,
+        )?))
+    }
+}
+
+/// Section 8: the R2–D2 channel. Registered under `r2d2` (uncertain
+/// delay), `r2d2-exact` and `r2d2-timestamped`, all with `ε = 2` and 3
+/// slots of slack on each side of the focus send; build one directly for
+/// other parameters.
+pub struct R2d2Scenario {
+    /// Delay bound ε (ticks).
+    pub eps: u64,
+    /// ε-slots before the focus send.
+    pub pre: usize,
+    /// ε-slots after the focus send.
+    pub post: usize,
+    /// Channel variant.
+    pub mode: R2d2Mode,
+}
+
+impl Scenario for R2d2Scenario {
+    fn name(&self) -> String {
+        match self.mode {
+            R2d2Mode::Uncertain => "r2d2".into(),
+            R2d2Mode::Exact => "r2d2-exact".into(),
+            R2d2Mode::Timestamped => "r2d2-timestamped".into(),
+        }
+    }
+
+    fn build(&self, _params: &ScenarioParams) -> Result<ScenarioFrame, EngineError> {
+        let (builder, _meta) = r2d2_parts(self.eps, self.pre, self.post, self.mode);
+        Ok(ScenarioFrame::Interpreted(builder))
+    }
+}
+
+/// Section 11: the OK protocol over the instant-or-lost channel (default
+/// horizon 6).
+struct OkProtocol;
+
+impl Scenario for OkProtocol {
+    fn name(&self) -> String {
+        "ok".into()
+    }
+
+    fn build(&self, params: &ScenarioParams) -> Result<ScenarioFrame, EngineError> {
+        Ok(ScenarioFrame::Interpreted(ok_builder(
+            params.horizon_or(6),
+        )?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_names() {
+        let reg = ScenarioRegistry::builtin();
+        for name in ["muddy4", "generals", "r2d2", "r2d2-exact", "ok"] {
+            assert!(reg.get(name).is_some(), "{name} registered");
+        }
+        assert!(reg.get("nope").is_none());
+        assert!(reg.names().contains(&"r2d2-timestamped".to_string()));
+    }
+
+    #[test]
+    fn later_registration_shadows() {
+        let mut reg = ScenarioRegistry::builtin();
+        struct Shadow;
+        impl Scenario for Shadow {
+            fn name(&self) -> String {
+                "generals".into()
+            }
+            fn build(&self, _p: &ScenarioParams) -> Result<ScenarioFrame, EngineError> {
+                Ok(ScenarioFrame::Model(MuddyChildren::new(2).model().clone()))
+            }
+        }
+        reg.register(Box::new(Shadow));
+        let frame = reg
+            .get("generals")
+            .unwrap()
+            .build(&ScenarioParams::default())
+            .unwrap();
+        assert!(matches!(frame, ScenarioFrame::Model(_)));
+    }
+}

@@ -51,26 +51,43 @@ impl Minimized {
 pub fn minimize(model: &KripkeModel) -> Minimized {
     let n = model.num_worlds();
     // Initial partition: by atom valuation.
-    let mut current = Partition::from_key(n, |w| {
+    let init = Partition::from_key(n, |w| {
         (0..model.num_atoms())
             .map(|a| model.atom_holds(a.into(), w) as u64)
             .collect::<Vec<u64>>()
     });
+    let relations: Vec<&Partition> = (0..model.num_agents())
+        .map(|a| model.partition(AgentId::new(a)))
+        .collect();
+    let classes = coarsest_refinement(init, &relations);
+    build_quotient(model, &classes)
+}
+
+/// The coarsest partition refining `init` that is *stable* under every
+/// relation: two worlds stay together only if, through each relation,
+/// their blocks meet the same set of classes. This is the partition-
+/// refinement core of [`minimize`], exposed separately so interpreted-
+/// system construction can fold minimisation in before materialising a
+/// model (the per-agent relations there come straight from dense view
+/// ids, not from a built [`KripkeModel`]).
+pub fn coarsest_refinement(init: Partition, relations: &[&Partition]) -> Partition {
+    let n = init.num_worlds();
+    let mut current = init;
     loop {
-        let next = Partition::from_key(n, |w| signature(model, &current, w));
+        let next = Partition::from_key(n, |w| signature(relations, &current, w));
         if next.num_blocks() == current.num_blocks() {
-            break;
+            return current;
         }
         current = next;
     }
-    build_quotient(model, &current)
 }
 
-/// The refinement signature of world `w` under candidate partition `p`.
-fn signature(model: &KripkeModel, p: &Partition, w: WorldId) -> Vec<u64> {
+/// The refinement signature of world `w` under candidate partition `p`:
+/// its own class plus, per relation, the sorted set of classes its block
+/// meets.
+fn signature(relations: &[&Partition], p: &Partition, w: WorldId) -> Vec<u64> {
     let mut sig: Vec<u64> = vec![p.block_of(w) as u64];
-    for agent in 0..model.num_agents() {
-        let part = model.partition(AgentId::new(agent));
+    for part in relations {
         let mut seen: Vec<u64> = part
             .block_members(part.block_of(w))
             .map(|v| p.block_of(v) as u64)
@@ -81,6 +98,31 @@ fn signature(model: &KripkeModel, p: &Partition, w: WorldId) -> Vec<u64> {
         sig.extend(seen);
     }
     sig
+}
+
+/// Pushes each relation down to the class universe: classes `b`, `b'` are
+/// related iff some members are. For S5 relations quotiented by a
+/// bisimulation (a [`coarsest_refinement`] fixed point) the images are
+/// themselves equivalences; built by union–find over member blocks.
+pub fn quotient_partitions(classes: &Partition, relations: &[&Partition]) -> Vec<Partition> {
+    let k = classes.num_blocks();
+    relations
+        .iter()
+        .map(|part| {
+            let mut uf = crate::partition::UnionFind::new(k);
+            for block in part.blocks() {
+                let mut members = block
+                    .iter()
+                    .map(|&w| classes.block_of(WorldId::new(w as usize)));
+                if let Some(first) = members.next() {
+                    for m in members {
+                        uf.union(first, m);
+                    }
+                }
+            }
+            Partition::from_key(k, |w| uf.find(w.index()))
+        })
+        .collect()
 }
 
 fn build_quotient(model: &KripkeModel, classes: &Partition) -> Minimized {
@@ -111,23 +153,14 @@ fn build_quotient(model: &KripkeModel, classes: &Partition) -> Minimized {
             }
         }
     }
-    // Quotient accessibility: classes b, b' are i-indistinguishable iff
-    // some members are. For S5 models quotiented by a bisimulation this
-    // relation is itself an equivalence; build it by union–find over
-    // member blocks.
-    for agent in 0..model.num_agents() {
-        let part = model.partition(AgentId::new(agent));
-        let mut uf = crate::partition::UnionFind::new(k);
-        for block in part.blocks() {
-            let mut members = block.iter().map(|&w| class_of[w as usize] as usize);
-            if let Some(first) = members.next() {
-                for m in members {
-                    uf.union(first, m);
-                }
-            }
-        }
-        let quotient_part = Partition::from_key(k, |w| uf.find(w.index()));
-        builder.set_partition(AgentId::new(agent), quotient_part);
+    let relations: Vec<&Partition> = (0..model.num_agents())
+        .map(|a| model.partition(AgentId::new(a)))
+        .collect();
+    for (agent, part) in quotient_partitions(classes, &relations)
+        .into_iter()
+        .enumerate()
+    {
+        builder.set_partition(AgentId::new(agent), part);
     }
     Minimized {
         model: builder.build(),

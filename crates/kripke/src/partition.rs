@@ -288,32 +288,63 @@ impl Partition {
     /// equivalence closure of the union of the two relations.
     ///
     /// The join over a group G's partitions gives *G-reachability*, i.e. the
-    /// common-knowledge relation of Section 6. Computed by union–find over
-    /// world indices followed by a dense canonical relabelling — no hashing.
+    /// common-knowledge relation of Section 6.
+    ///
+    /// Join classes are the connected components of the bipartite *block
+    /// graph* — one vertex per block of either partition, with block `B` of
+    /// `self` adjacent to block `B'` of `other` iff they share a world.
+    /// Rather than union–find over world indices (pointer-chasing `find`
+    /// per world), this walks that graph directly over the two CSR member
+    /// arenas: an alternating BFS marks whole blocks, scanning each block's
+    /// sorted member slice exactly once — O(n + blocks), no hashing, no
+    /// path compression. Component ids fall out in canonical (first-seen
+    /// world) order because block ids already are canonical, so the final
+    /// labelling needs no extra renumbering pass.
     pub fn join(&self, other: &Partition) -> Partition {
         assert_eq!(self.num_worlds(), other.num_worlds(), "universe mismatch");
-        let n = self.num_worlds();
-        let mut uf = UnionFind::new(n);
-        for p in [self, other] {
-            for block in p.blocks() {
-                for pair in block.windows(2) {
-                    uf.union(pair[0] as usize, pair[1] as usize);
+        let mut comp_self = vec![u32::MAX; self.num_blocks()];
+        let mut comp_other = vec![u32::MAX; other.num_blocks()];
+        let mut frontier_self: Vec<u32> = Vec::new();
+        let mut frontier_other: Vec<u32> = Vec::new();
+        let mut num_comps = 0u32;
+        for b in 0..self.num_blocks() {
+            if comp_self[b] != u32::MAX {
+                continue;
+            }
+            let c = num_comps;
+            num_comps += 1;
+            comp_self[b] = c;
+            frontier_self.push(b as u32);
+            while !frontier_self.is_empty() || !frontier_other.is_empty() {
+                while let Some(sb) = frontier_self.pop() {
+                    for &w in self.block_slice(sb as usize) {
+                        let ob = other.block_of[w as usize] as usize;
+                        if comp_other[ob] == u32::MAX {
+                            comp_other[ob] = c;
+                            frontier_other.push(ob as u32);
+                        }
+                    }
+                }
+                while let Some(ob) = frontier_other.pop() {
+                    for &w in other.block_slice(ob as usize) {
+                        let sb = self.block_of[w as usize] as usize;
+                        if comp_self[sb] == u32::MAX {
+                            comp_self[sb] = c;
+                            frontier_self.push(sb as u32);
+                        }
+                    }
                 }
             }
         }
-        let mut remap = vec![u32::MAX; n];
-        let mut labels = Vec::with_capacity(n);
-        let mut num_blocks = 0u32;
-        for w in 0..n {
-            let root = uf.find(w);
-            let slot = &mut remap[root];
-            if *slot == u32::MAX {
-                *slot = num_blocks;
-                num_blocks += 1;
-            }
-            labels.push(*slot);
-        }
-        Partition::from_canonical_labels(labels, num_blocks)
+        // Component c's first world is the first world of its minimal
+        // self-block, and components are numbered by minimal self-block —
+        // so labels are already dense in first-seen world order.
+        let labels: Vec<u32> = self
+            .block_of
+            .iter()
+            .map(|&b| comp_self[b as usize])
+            .collect();
+        Partition::from_canonical_labels(labels, num_comps)
     }
 
     /// `true` iff `self` refines `other` (every block of `self` is contained
@@ -520,6 +551,44 @@ mod tests {
         let j = by2.join(&by3);
         assert_eq!(j.num_blocks(), 1, "join of mod-2 and mod-3 connects all");
         assert!(by2.refines(&j) && by3.refines(&j));
+    }
+
+    #[test]
+    fn join_numbering_matches_union_find_reference() {
+        // The BFS join must reproduce the canonical (first-seen world)
+        // block numbering exactly — the same partition the union–find
+        // closure over within-block adjacencies produces.
+        for (n, bp, bq, seed) in [(1usize, 1u64, 1u64, 0u64), (37, 5, 3, 1), (64, 9, 2, 2)] {
+            let mut mix = seed;
+            let mut next = || {
+                mix = mix
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                mix >> 33
+            };
+            let kp: Vec<u64> = (0..n).map(|_| next() % bp).collect();
+            let kq: Vec<u64> = (0..n).map(|_| next() % bq).collect();
+            let p = Partition::from_key(n, |w| kp[w.index()]);
+            let q = Partition::from_key(n, |w| kq[w.index()]);
+            let pairs = p.blocks().chain(q.blocks()).flat_map(|b| {
+                b.windows(2)
+                    .map(|w| (WorldId::new(w[0] as usize), WorldId::new(w[1] as usize)))
+                    .collect::<Vec<_>>()
+            });
+            let reference = Partition::from_pairs(n, pairs);
+            assert_eq!(p.join(&q), reference, "n={n} bp={bp} bq={bq}");
+        }
+    }
+
+    #[test]
+    fn join_of_chained_blocks_closes_fully() {
+        // A chain p:{0,1},{2,3},... q:{1,2},{3,4},... must collapse to one
+        // block — the shape that forces the BFS to alternate sides.
+        let n = 100;
+        let p = Partition::from_key(n, |w| w.index() / 2);
+        let q = Partition::from_key(n, |w| w.index().div_ceil(2));
+        let j = p.join(&q);
+        assert_eq!(j.num_blocks(), 1);
     }
 
     #[test]

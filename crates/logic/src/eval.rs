@@ -58,6 +58,13 @@ impl std::error::Error for EvalError {}
 /// Evaluates a closed formula on a frame, returning the set of worlds where
 /// it holds.
 ///
+/// This is a thin wrapper over the compiled path: the formula is lowered
+/// by [`compile`](crate::compile) to a flat instruction buffer (atoms and
+/// groups interned, fixed-point slots preallocated) and executed once.
+/// Callers evaluating the same formula repeatedly should compile once and
+/// reuse the [`CompiledFormula`](crate::CompiledFormula) — or go through
+/// an `hm-engine` `Session`, which caches compilations per formula.
+///
 /// # Errors
 ///
 /// See [`EvalError`]. In particular, temporal operators require the frame
@@ -81,6 +88,19 @@ impl std::error::Error for EvalError {}
 /// # Ok::<(), hm_logic::EvalError>(())
 /// ```
 pub fn evaluate(frame: &dyn Frame, f: &Formula) -> Result<WorldSet, EvalError> {
+    crate::compile::compile(f)?.eval(frame)
+}
+
+/// The original tree-walking evaluator, kept as the executable reference
+/// semantics: it resolves atoms by `&str` at every node and carries an
+/// explicit fixed-point environment. Property tests assert it agrees with
+/// the compiled path on random models and formulas; the benchmark suite
+/// measures the compiled path against it.
+///
+/// # Errors
+///
+/// Same as [`evaluate`].
+pub fn evaluate_tree(frame: &dyn Frame, f: &Formula) -> Result<WorldSet, EvalError> {
     let mut env = Env::new();
     eval(frame, f, &mut env)
 }
@@ -343,8 +363,10 @@ fn fixpoint(
 
 /// Checks that `var` occurs only positively (under an even number of
 /// negations, never under `<->`) in `f`. Appendix A's syntactic
-/// monotonicity condition.
-fn check_positive(f: &Formula, var: &str) -> Result<(), EvalError> {
+/// monotonicity condition. Shared by the tree-walking evaluator (checked
+/// at each binder during evaluation) and the compiler (checked once at
+/// compile time).
+pub(crate) fn check_positive(f: &Formula, var: &str) -> Result<(), EvalError> {
     fn occurs_free(f: &Formula, var: &str) -> bool {
         match f {
             Formula::Var(x) => x == var,

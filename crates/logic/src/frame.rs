@@ -59,6 +59,32 @@ pub trait Frame {
     fn temporal(&self) -> Option<&dyn TemporalStructure> {
         None
     }
+
+    /// The frame's dense atom table, when it has one. The default shim
+    /// returns `None`, meaning the frame only supports name-based lookup
+    /// through [`atom_set`](Self::atom_set) — existing frames keep working
+    /// unchanged; frames with an interned vocabulary (Kripke models,
+    /// interpreted systems) expose it so compiled formulas resolve atoms
+    /// by id instead of by `&str`.
+    fn atom_table(&self) -> Option<&dyn AtomTable> {
+        None
+    }
+}
+
+/// A dense atom vocabulary: the id-based fast path of a [`Frame`] used by
+/// compiled evaluation ([`compile`](crate::compile)). Ids are
+/// frame-local indices `0..` with no meaning across frames.
+pub trait AtomTable {
+    /// Resolves an atom name to its frame-local dense id, if interpreted.
+    fn atom_index(&self, name: &str) -> Option<usize>;
+
+    /// The set of worlds where the atom with dense id `id` holds.
+    ///
+    /// # Panics
+    ///
+    /// May panic if `id` was not produced by
+    /// [`atom_index`](Self::atom_index) on the same frame.
+    fn atom_set_by_id(&self, id: usize) -> WorldSet;
 }
 
 /// Run/time structure over the worlds of a frame.
@@ -112,6 +138,20 @@ impl Frame for KripkeModel {
     fn common_set(&self, g: &AgentGroup, a: &WorldSet) -> WorldSet {
         // Fast path: G-reachability components (Section 6).
         self.common_knowledge(g, a)
+    }
+
+    fn atom_table(&self) -> Option<&dyn AtomTable> {
+        Some(self)
+    }
+}
+
+impl AtomTable for KripkeModel {
+    fn atom_index(&self, name: &str) -> Option<usize> {
+        self.atom_id(name).map(|a| a.index())
+    }
+
+    fn atom_set_by_id(&self, id: usize) -> WorldSet {
+        KripkeModel::atom_set(self, id.into())
     }
 }
 

@@ -15,7 +15,10 @@
 //!   against (Kripke models from `hm-kripke`; interpreted systems from
 //!   `hm-runs` add the [`TemporalStructure`] needed by `E^ε`, `E^◇`, `E^T`
 //!   and the run-temporal operators).
-//! - [`evaluate`]/[`holds_at`]/[`is_valid`] run the model checker.
+//! - [`evaluate`]/[`holds_at`]/[`is_valid`] run the model checker;
+//!   [`compile`] lowers a formula once to a flat instruction buffer
+//!   ([`CompiledFormula`]) for repeated evaluation, and [`evaluate_tree`]
+//!   keeps the tree-walking reference semantics.
 //! - [`axioms`] turns Proposition 1 (S5), the fixed-point axiom C1, the
 //!   induction rule C2, and Lemma 2 into executable checks.
 //!
@@ -47,6 +50,7 @@
 #![warn(missing_docs)]
 
 pub mod axioms;
+mod compile;
 mod eval;
 mod formula;
 mod frame;
@@ -54,7 +58,8 @@ pub mod temporal;
 
 mod parser;
 
-pub use eval::{evaluate, holds_at, is_valid, EvalError};
+pub use compile::{compile, Bound, CompiledFormula};
+pub use eval::{evaluate, evaluate_tree, holds_at, is_valid, EvalError};
 pub use formula::{Formula, F};
-pub use frame::{Frame, TemporalStructure};
+pub use frame::{AtomTable, Frame, TemporalStructure};
 pub use parser::{parse, ParseError};

@@ -242,11 +242,44 @@ impl Enumerator<'_> {
     /// events strictly before the current tick.
     fn explore(
         &mut self,
-        mut sim: Sim,
+        sim: Sim,
         t0: u64,
         proc0: usize,
         cmd0: usize,
     ) -> Result<(), EnumerateError> {
+        let tasks = self.drive(sim, t0, proc0, cmd0, false)?;
+        debug_assert!(tasks.is_empty(), "recursive mode never yields tasks");
+        Ok(())
+    }
+
+    /// Continues the simulation of `sim` like [`explore`](Self::explore),
+    /// but stops at the first adversary choice with more than one
+    /// outcome, returning one resumable task per outcome instead of
+    /// recursing. Branch-free suffixes complete and materialise in place.
+    /// This is the task-splitting front end of the parallel enumerator.
+    fn run_until_branch(
+        &mut self,
+        sim: Sim,
+        t0: u64,
+        proc0: usize,
+        cmd0: usize,
+    ) -> Result<Vec<Task>, EnumerateError> {
+        self.drive(sim, t0, proc0, cmd0, true)
+    }
+
+    /// The one stepping loop behind both exploration modes. At an
+    /// adversary choice with `k > 1` distinct outcomes: in recursive
+    /// mode (`split == false`) outcomes `0..k-1` recurse on a clone of
+    /// `sim` and the last continues in place; in split mode every
+    /// outcome becomes a resumable [`Task`] and the function returns.
+    fn drive(
+        &mut self,
+        mut sim: Sim,
+        t0: u64,
+        proc0: usize,
+        cmd0: usize,
+        split: bool,
+    ) -> Result<Vec<Task>, EnumerateError> {
         let spec = self.spec;
         let n = spec.num_procs;
         for t in t0..=spec.horizon {
@@ -308,6 +341,21 @@ impl Enumerator<'_> {
                                 msg,
                                 seq,
                             };
+                            if split && options.len() > 1 {
+                                return Ok(options
+                                    .iter()
+                                    .map(|&opt| {
+                                        let mut child = sim.clone();
+                                        child.apply_outcome(opt, &send, spec.horizon);
+                                        Task {
+                                            sim: child,
+                                            t,
+                                            proc: i,
+                                            cmd: ci + 1,
+                                        }
+                                    })
+                                    .collect());
+                            }
                             let (&last, rest) = options.split_last().expect("non-empty");
                             for &opt in rest {
                                 let mut child = sim.clone();
@@ -325,7 +373,7 @@ impl Enumerator<'_> {
         if self.runs.len() > self.max_runs {
             return Err(EnumerateError::RunLimit(self.max_runs));
         }
-        Ok(())
+        Ok(Vec::new())
     }
 
     /// Turns a completed branch into a [`Run`].
@@ -410,6 +458,127 @@ pub fn enumerate_runs(
     enumerator.explore(Sim::new(spec.num_procs), 0, 0, 0)?;
     let mut runs = enumerator.runs;
     // Canonical order: sort by name for reproducibility.
+    runs.sort_by(|a, b| a.name.cmp(&b.name));
+    Ok(runs)
+}
+
+/// A resumable branch of the exploration: the simulation state plus the
+/// `(t, proc, cmd)` coordinates to continue from.
+struct Task {
+    sim: Sim,
+    t: u64,
+    proc: usize,
+    cmd: usize,
+}
+
+/// Parallel [`enumerate_runs`]: explores independent adversary branches
+/// on scoped threads and merges their run lists.
+///
+/// The DFS enumerator clones its simulation at every adversary choice
+/// point, and the subtrees below distinct choices never interact — the
+/// work is embarrassingly parallel. This driver first splits the run tree
+/// breadth-first into at least `4 × available_parallelism` resumable
+/// tasks (branch-free prefixes complete inline), then distributes the
+/// task list over `std::thread::scope` workers, each running the
+/// sequential enumerator, and concatenates the results. The final
+/// name-sort makes the output **identical to the sequential enumerator's**
+/// regardless of scheduling (run names encode the adversary schedule, so
+/// they are unique within one enumeration).
+///
+/// Requires `Sync` protocol and adversary; all stock implementations and
+/// any `FnProtocol` over captured `Sync` data qualify.
+///
+/// # Errors
+///
+/// Returns [`EnumerateError::RunLimit`] if more than `max_runs` runs
+/// would be produced (workers check their own counts, so the error may
+/// surface before every branch finishes).
+pub fn enumerate_runs_parallel(
+    protocol: &(dyn JointProtocol + Sync),
+    adversary: &(dyn Adversary + Sync),
+    spec: &ExecutionSpec,
+    max_runs: usize,
+) -> Result<Vec<Run>, EnumerateError> {
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let target_tasks = threads * 4;
+    let mut splitter = Enumerator {
+        protocol,
+        adversary,
+        spec,
+        max_runs,
+        runs: Vec::new(),
+        seen: Vec::new(),
+        due: Vec::new(),
+    };
+    // Breadth-first split until we have enough independent tasks (or the
+    // tree is exhausted). Completed branch-free prefixes land in
+    // `splitter.runs` directly.
+    let mut tasks = splitter.run_until_branch(Sim::new(spec.num_procs), 0, 0, 0)?;
+    while !tasks.is_empty() && tasks.len() < target_tasks {
+        let task = tasks.remove(0);
+        let children = splitter.run_until_branch(task.sim, task.t, task.proc, task.cmd)?;
+        tasks.extend(children);
+    }
+    let mut runs = std::mem::take(&mut splitter.runs);
+    if tasks.len() <= 1 || threads == 1 {
+        // Not enough branching to pay for threads: finish sequentially.
+        for task in tasks {
+            splitter.explore(task.sim, task.t, task.proc, task.cmd)?;
+            runs.append(&mut splitter.runs);
+        }
+        if runs.len() > max_runs {
+            return Err(EnumerateError::RunLimit(max_runs));
+        }
+        runs.sort_by(|a, b| a.name.cmp(&b.name));
+        return Ok(runs);
+    }
+    let chunk = tasks.len().div_ceil(threads);
+    let chunks: Vec<Vec<Task>> = {
+        let mut out = Vec::new();
+        let mut it = tasks.into_iter();
+        loop {
+            let c: Vec<Task> = it.by_ref().take(chunk).collect();
+            if c.is_empty() {
+                break;
+            }
+            out.push(c);
+        }
+        out
+    };
+    let results: Vec<Result<Vec<Run>, EnumerateError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                scope.spawn(move || {
+                    let mut worker = Enumerator {
+                        protocol,
+                        adversary,
+                        spec,
+                        max_runs,
+                        runs: Vec::new(),
+                        seen: Vec::new(),
+                        due: Vec::new(),
+                    };
+                    for task in chunk {
+                        worker.explore(task.sim, task.t, task.proc, task.cmd)?;
+                    }
+                    Ok(worker.runs)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+    for r in results {
+        runs.extend(r?);
+    }
+    if runs.len() > max_runs {
+        return Err(EnumerateError::RunLimit(max_runs));
+    }
     runs.sort_by(|a, b| a.name.cmp(&b.name));
     Ok(runs)
 }
@@ -546,6 +715,58 @@ mod tests {
         )
         .unwrap();
         assert_eq!(runs.len(), 3);
+    }
+
+    #[test]
+    fn parallel_enumeration_matches_sequential() {
+        // A bursty protocol with 2^8 lossy branches: the parallel driver
+        // must produce the identical sorted run list.
+        let msgs = 8usize;
+        let burst = FnProtocol::new("burst", move |v: &LocalView<'_>| {
+            if v.me.index() == 0 && v.sent().count() < msgs {
+                vec![Command::Send {
+                    to: AgentId::new(1),
+                    msg: Message::new(1, v.sent().count() as u64),
+                }]
+            } else {
+                Vec::new()
+            }
+        });
+        let spec = ExecutionSpec::simple(2, msgs as u64 + 2);
+        let adversary = LossyFixedDelay { delay: 1 };
+        let seq = enumerate_runs(&burst, &adversary, &spec, 1 << 12).unwrap();
+        let par = enumerate_runs_parallel(&burst, &adversary, &spec, 1 << 12).unwrap();
+        assert_eq!(seq.len(), 1 << msgs);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn parallel_enumeration_branchless_and_limit() {
+        // Branch-free tree: completes in the splitter.
+        let seq = enumerate_runs(
+            &Silent,
+            &SynchronousDelay { delay: 1 },
+            &ExecutionSpec::simple(2, 3),
+            10,
+        )
+        .unwrap();
+        let par = enumerate_runs_parallel(
+            &Silent,
+            &SynchronousDelay { delay: 1 },
+            &ExecutionSpec::simple(2, 3),
+            10,
+        )
+        .unwrap();
+        assert_eq!(seq, par);
+        // Run limit still enforced.
+        let err = enumerate_runs_parallel(
+            &one_shot(),
+            &LossyFixedDelay { delay: 1 },
+            &ExecutionSpec::simple(2, 3),
+            1,
+        )
+        .unwrap_err();
+        assert_eq!(err, EnumerateError::RunLimit(1));
     }
 
     #[test]

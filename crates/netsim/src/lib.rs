@@ -26,5 +26,8 @@ pub use adversary::{
     Adversary, BoundedUncertainDelay, InstantOrLost, InstantOrLostWindow, LossyFixedDelay, Outcome,
     SynchronousDelay, UnboundedDelay,
 };
-pub use executor::{enumerate_runs, enumerate_system, Clocks, EnumerateError, ExecutionSpec};
+pub use executor::{
+    enumerate_runs, enumerate_runs_parallel, enumerate_system, Clocks, EnumerateError,
+    ExecutionSpec,
+};
 pub use protocol::{Command, FnProtocol, JointProtocol, LocalView, SeenEvent, Silent};

@@ -42,26 +42,35 @@ pub const TAG_OK: u32 = 3;
 /// Propagates [`EnumerateError`] (the run count is linear in the horizon,
 /// so the default limit is generous).
 pub fn generals_system(horizon: u64) -> Result<System, EnumerateError> {
+    generals_system_opts(horizon, false)
+}
+
+/// [`generals_system`] with the enumeration strategy exposed: `parallel`
+/// explores the adversary branches on scoped threads
+/// ([`enumerate_runs_parallel`](crate::enumerate_runs_parallel)); the run
+/// set is identical either way.
+pub fn generals_system_opts(horizon: u64, parallel: bool) -> Result<System, EnumerateError> {
     let protocol = handshake_protocol();
-    let runs = enumerate_intents(&protocol, horizon)?;
+    let runs = enumerate_intents(&protocol, horizon, parallel)?;
     Ok(System::new(runs))
 }
 
 fn enumerate_intents(
-    protocol: &dyn crate::protocol::JointProtocol,
+    protocol: &(dyn crate::protocol::JointProtocol + Sync),
     horizon: u64,
+    parallel: bool,
 ) -> Result<Vec<Run>, EnumerateError> {
     let mut runs = Vec::new();
     for intent in 0..=1u64 {
         let spec = ExecutionSpec::simple(2, horizon)
             .with_initial_states(vec![intent, 0])
             .with_label(format!("intent{intent}"));
-        runs.extend(enumerate_runs(
-            protocol,
-            &LossyFixedDelay { delay: 1 },
-            &spec,
-            4096,
-        )?);
+        let adversary = LossyFixedDelay { delay: 1 };
+        runs.extend(if parallel {
+            crate::executor::enumerate_runs_parallel(protocol, &adversary, &spec, 4096)?
+        } else {
+            enumerate_runs(protocol, &adversary, &spec, 4096)?
+        });
     }
     Ok(runs)
 }
@@ -69,7 +78,7 @@ fn enumerate_intents(
 /// The handshake rule: A sends message `k` when it wants to attack and
 /// all its previous messages have been answered; B answers each incoming
 /// message once.
-fn handshake_protocol() -> impl crate::protocol::JointProtocol {
+fn handshake_protocol() -> impl crate::protocol::JointProtocol + Sync {
     FnProtocol::new("handshake", |v: &LocalView<'_>| {
         let sent = v.sent().count();
         let received = v.received().count();
@@ -136,7 +145,7 @@ pub fn generals_attack_system(
         }
         cmds
     });
-    let runs = enumerate_intents(&protocol, horizon)?;
+    let runs = enumerate_intents(&protocol, horizon, false)?;
     Ok(System::new(runs))
 }
 

@@ -51,6 +51,109 @@ pub fn extends(ra: &Run, rb: &Run, t: u64) -> bool {
     })
 }
 
+/// Memoised prefix-agreement over all run pairs of a system: for each
+/// ordered pair `(a, b)` and processor `i`, the number of initial times
+/// `u = 0, 1, …` at which `h(p_i, a, u) = h(p_i, b, u)` — so "`p_i`'s
+/// histories agree at every `u ≤ t`" is the O(1) test `upto > t`.
+///
+/// The NG checkers ask exactly these questions inside
+/// O(runs² × horizon²) loops; without the table every ask replays the
+/// [`extends`] prefix scan, which dominates their cost (b05). Scans stop
+/// at the first mismatch or at the pair's smaller horizon, so the whole
+/// table costs what a single full `extends` sweep per pair does.
+struct AgreementTable {
+    num_runs: usize,
+    num_procs: usize,
+    /// `upto[(a * num_runs + b) * num_procs + i]`.
+    upto: Vec<u64>,
+    /// `min_upto[a * num_runs + b]` = min over processors.
+    min_upto: Vec<u64>,
+}
+
+impl AgreementTable {
+    fn new(system: &System) -> Self {
+        let nr = system.num_runs();
+        let np = system.num_procs();
+        let mut upto = vec![0u64; nr * nr * np];
+        let mut min_upto = vec![0u64; nr * nr];
+        for (ia, ra) in system.runs() {
+            for (ib, rb) in system.runs() {
+                // The scan runs to the *outer* run's horizon, exactly as
+                // the checkers' `extends(ra, rb, t)` calls did: `rb` may
+                // be shorter and still agree at every `u ≤ t` (clockless
+                // histories are well-defined past a run's horizon).
+                // That makes the table ordered, not symmetric.
+                let cap = ra.horizon + 1;
+                let mut min_len = u64::MAX;
+                for i in 0..np {
+                    let len = if ia == ib {
+                        cap
+                    } else {
+                        let (pa, pb) = (ra.proc(AgentId::new(i)), rb.proc(AgentId::new(i)));
+                        (0..cap)
+                            .take_while(|&u| history_keys_equal(pa, u, pb, u))
+                            .count() as u64
+                    };
+                    upto[(ia.index() * nr + ib.index()) * np + i] = len;
+                    min_len = min_len.min(len);
+                }
+                min_upto[ia.index() * nr + ib.index()] = min_len;
+            }
+        }
+        AgreementTable {
+            num_runs: nr,
+            num_procs: np,
+            upto,
+            min_upto,
+        }
+    }
+
+    /// `h(p_i, a, u) = h(p_i, b, u)` for every `u ≤ t`.
+    fn agrees(&self, a: RunId, b: RunId, i: usize, t: u64) -> bool {
+        self.upto[(a.index() * self.num_runs + b.index()) * self.num_procs + i] > t
+    }
+
+    /// [`extends`]`(a, b, t)`.
+    fn extends(&self, a: RunId, b: RunId, t: u64) -> bool {
+        self.min_upto[a.index() * self.num_runs + b.index()] > t
+    }
+}
+
+/// Per-run sorted receive times (`recvs[proc]`), for O(log) "no message
+/// received in `[from, to]`" interval queries.
+struct RecvTimes {
+    by_proc: Vec<Vec<u64>>,
+}
+
+impl RecvTimes {
+    fn new(run: &Run) -> Self {
+        RecvTimes {
+            by_proc: run
+                .procs
+                .iter()
+                .map(|p| {
+                    p.events
+                        .iter()
+                        .filter(|e| e.event.is_recv())
+                        .map(|e| e.time)
+                        .collect()
+                })
+                .collect(),
+        }
+    }
+
+    /// `true` iff processor `i` receives nothing in the closed interval.
+    fn quiet(&self, i: usize, from: u64, to: u64) -> bool {
+        let times = &self.by_proc[i];
+        times.partition_point(|&t| t < from) == times.partition_point(|&t| t <= to)
+    }
+
+    /// `true` iff no processor receives anything in the closed interval.
+    fn all_quiet(&self, from: u64, to: u64) -> bool {
+        (0..self.by_proc.len()).all(|i| self.quiet(i, from, to))
+    }
+}
+
 /// A violation of one of the NG conditions, for diagnostics.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
@@ -69,10 +172,13 @@ pub struct Violation {
 /// Returns the first violation, or `None` if the condition holds (on this
 /// finite truncation).
 pub fn check_ng1(system: &System) -> Option<Violation> {
+    let agree = AgreementTable::new(system);
     for (id, r) in system.runs() {
         for t in 0..=r.horizon {
-            let found = system.runs().any(|(_, r2)| {
-                r.same_initial_config_and_clocks(r2) && extends(r, r2, t) && r2.silent_from(t)
+            let found = system.runs().any(|(id2, r2)| {
+                r.same_initial_config_and_clocks(r2)
+                    && agree.extends(id, id2, t)
+                    && r2.silent_from(t)
             });
             if !found {
                 return Some(Violation {
@@ -91,11 +197,15 @@ pub fn check_ng1(system: &System) -> Option<Violation> {
 /// configuration and clock readings, and has no messages received in
 /// `[t, u]`.
 pub fn check_ng1_prime(system: &System) -> Option<Violation> {
+    let agree = AgreementTable::new(system);
+    let recvs: Vec<RecvTimes> = system.runs().map(|(_, r)| RecvTimes::new(r)).collect();
     for (id, r) in system.runs() {
         for t in 0..=r.horizon {
             for u in t..=r.horizon {
-                let found = system.runs().any(|(_, r2)| {
-                    r.same_initial_config_and_clocks(r2) && extends(r, r2, t) && silent_in(r2, t, u)
+                let found = system.runs().any(|(id2, r2)| {
+                    r.same_initial_config_and_clocks(r2)
+                        && agree.extends(id, id2, t)
+                        && recvs[id2.index()].all_quiet(t, u)
                 });
                 if !found {
                     return Some(Violation {
@@ -110,46 +220,31 @@ pub fn check_ng1_prime(system: &System) -> Option<Violation> {
     None
 }
 
-fn silent_in(r: &Run, from: u64, to: u64) -> bool {
-    r.procs.iter().all(|p| {
-        p.events
-            .iter()
-            .all(|e| !(e.event.is_recv() && e.time >= from && e.time <= to))
-    })
-}
-
 /// Checks NG2: whenever processor `p_i` receives no messages in the open
 /// interval `(t', t)` of run `r`, there is a run `r'` extending `(r, t')`
 /// with the same initial configuration and clock readings, in which
 /// `p_i`'s history agrees with `r` up to `t`, and no other processor
 /// receives a message in `[t', t)`.
 pub fn check_ng2(system: &System) -> Option<Violation> {
+    let agree = AgreementTable::new(system);
+    let recvs: Vec<RecvTimes> = system.runs().map(|(_, r)| RecvTimes::new(r)).collect();
     for (id, r) in system.runs() {
         for i in 0..system.num_procs() {
-            let pi = AgentId::new(i);
             for tp in 0..=r.horizon {
                 for t in tp..=r.horizon {
-                    // Hypothesis: p_i receives nothing in (t', t).
-                    let quiet_for_i = r
-                        .proc(pi)
-                        .events
-                        .iter()
-                        .all(|e| !(e.event.is_recv() && e.time > tp && e.time < t));
-                    if !quiet_for_i {
+                    // Hypothesis: p_i receives nothing in the open (t', t).
+                    if t > tp + 1 && !recvs[id.index()].quiet(i, tp + 1, t - 1) {
                         continue;
                     }
-                    let found =
-                        system.runs().any(|(_, r2)| {
-                            r.same_initial_config_and_clocks(r2)
-                                && extends(r, r2, tp)
-                                && (0..=t).all(|u| histories_equal(r, r2, pi, u))
-                                && (0..system.num_procs()).all(|j| {
-                                    j == i
-                                        || r2.proc(AgentId::new(j)).events.iter().all(|e| {
-                                            !(e.event.is_recv() && e.time >= tp && e.time < t)
-                                        })
-                                })
-                        });
+                    let found = system.runs().any(|(id2, r2)| {
+                        r.same_initial_config_and_clocks(r2)
+                            && agree.extends(id, id2, tp)
+                            && agree.agrees(id, id2, i, t)
+                            && (0..system.num_procs()).all(|j| {
+                                // Half-open [t', t): closed [t', t-1].
+                                j == i || t == tp || recvs[id2.index()].quiet(j, tp, t - 1)
+                            })
+                    });
                     if !found {
                         return Some(Violation {
                             run: id,
@@ -335,6 +430,23 @@ mod tests {
             .build();
         let sys = System::new(vec![quiet, lost, deliver]);
         assert_eq!(check_ng2(&sys), None);
+    }
+
+    #[test]
+    fn ng1_accepts_shorter_silent_witnesses() {
+        // The witness run may be *shorter* than the run under test: the
+        // agreement table must scan to the outer run's horizon (clockless
+        // histories are well-defined past a run's horizon), exactly as
+        // the unmemoised `extends` scan did.
+        let long = base("long", 5)
+            .event(a(0), 1, send(1, 1))
+            .event(a(1), 4, recv(0, 1))
+            .build();
+        let short = base("short", 3).event(a(0), 1, send(1, 1)).build();
+        let sys = System::new(vec![long.clone(), short.clone()]);
+        // Unmemoised reference: `short` extends (long, 4) and is silent.
+        assert!(extends(&long, &short, 4) && short.silent_from(4));
+        assert_eq!(check_ng1(&sys), None);
     }
 
     #[test]

@@ -13,8 +13,11 @@ use crate::intern::ViewInterner;
 use crate::run::Run;
 use crate::system::{Point, RunId, System};
 use crate::view::ViewFunction;
-use hm_kripke::{AgentGroup, AgentId, KripkeModel, ModelBuilder, Partition, WorldId, WorldSet};
-use hm_logic::{evaluate, EvalError, Formula, Frame, TemporalStructure};
+use hm_kripke::{
+    coarsest_refinement, quotient_partitions, AgentGroup, AgentId, KripkeModel, Minimized,
+    ModelBuilder, Partition, WorldId, WorldSet,
+};
+use hm_logic::{evaluate, AtomTable, EvalError, Formula, Frame, TemporalStructure};
 
 /// A fact predicate: the truth of a ground atom at each point of a run.
 pub type FactFn = Box<dyn Fn(&Run, u64) -> bool>;
@@ -24,6 +27,7 @@ pub struct InterpretedSystemBuilder {
     system: System,
     view: Box<dyn ViewFunction>,
     facts: Vec<(String, FactFn)>,
+    minimize: bool,
 }
 
 impl InterpretedSystemBuilder {
@@ -35,6 +39,22 @@ impl InterpretedSystemBuilder {
         fact: impl Fn(&Run, u64) -> bool + 'static,
     ) -> Self {
         self.facts.push((name.into(), Box::new(fact)));
+        self
+    }
+
+    /// Folds bisimulation minimisation into construction: `build` will
+    /// additionally compute the coarsest epistemic bisimulation quotient
+    /// of the point model — by partition refinement directly over the
+    /// dense per-agent view ids, before any formula is evaluated — and
+    /// attach it as [`InterpretedSystem::quotient`]. Quotient worlds are
+    /// labelled with their representative point's `run@t` name.
+    ///
+    /// The quotient answers every formula of the `D`-free static fragment
+    /// identically to the full model (and is often much smaller); the
+    /// temporal operators and `D_G` must still be evaluated on the full
+    /// model, which remains available unchanged.
+    pub fn minimized(mut self, on: bool) -> Self {
+        self.minimize = on;
         self
     }
 
@@ -57,23 +77,31 @@ impl InterpretedSystemBuilder {
         // `locate` when a diagnostic asks (see `point_name`), instead of
         // one `format!` per point here.
         b.add_worlds(num_points);
+        // Per-fact truth bit-vectors: fed to the model builder, and — when
+        // minimising — to the initial refinement partition.
+        let mut fact_bits: Vec<Vec<bool>> = Vec::with_capacity(self.facts.len());
         for (name, fact) in &self.facts {
             let atom = b.atom(name.clone());
+            let mut bits = Vec::with_capacity(num_points);
             let mut w = 0usize;
             for (_, r) in system.runs() {
                 for t in 0..=r.horizon {
-                    if fact(r, t) {
+                    let v = fact(r, t);
+                    if v {
                         b.set_atom(atom, WorldId::new(w), true);
                     }
+                    bits.push(v);
                     w += 1;
                 }
             }
+            fact_bits.push(bits);
         }
         // Agent partitions from hash-consed view encodings: one scratch
         // buffer replayed through an interner per agent — no per-point
         // allocation — then a dense O(n) partition build from the ids.
         let mut scratch: Vec<u64> = Vec::new();
         let mut ids: Vec<u32> = Vec::with_capacity(num_points);
+        let mut partitions: Vec<Partition> = Vec::with_capacity(num_procs);
         for i in 0..num_procs {
             let agent = AgentId::new(i);
             let mut interner = ViewInterner::new();
@@ -85,10 +113,13 @@ impl InterpretedSystemBuilder {
                     ids.push(interner.intern(&scratch));
                 }
             }
-            b.set_partition(
-                agent,
-                Partition::from_dense_keys(num_points, &ids, interner.len()),
-            );
+            partitions.push(Partition::from_dense_keys(num_points, &ids, interner.len()));
+        }
+        let quotient = self
+            .minimize
+            .then(|| quotient_of(&system, &offsets, &partitions, &self.facts, &fact_bits));
+        for (i, p) in partitions.into_iter().enumerate() {
+            b.set_partition(AgentId::new(i), p);
         }
         let model = b.build();
 
@@ -108,7 +139,76 @@ impl InterpretedSystemBuilder {
             offsets,
             clocks,
             view_name: self.view.name(),
+            quotient,
         }
+    }
+}
+
+/// The on-the-fly bisimulation fold: computes the coarsest-bisimulation
+/// quotient model of the point universe from the per-agent view-id
+/// partitions and fact bit-vectors — i.e. *before* the full model is
+/// materialised — taking quotient world names from representative points
+/// (`run@t`, the `point_name` scheme; the interpreted worlds themselves
+/// are unnamed).
+fn quotient_of(
+    system: &System,
+    offsets: &[u32],
+    partitions: &[Partition],
+    facts: &[(String, FactFn)],
+    fact_bits: &[Vec<bool>],
+) -> Minimized {
+    let n = system.num_points();
+    // Initial partition: by fact valuation, one dense pair-refinement per
+    // fact (meet with the fact's indicator partition).
+    let mut init = Partition::trivial(n);
+    let mut keys: Vec<u32> = Vec::with_capacity(n);
+    for bits in fact_bits {
+        keys.clear();
+        keys.extend(bits.iter().map(|&v| v as u32));
+        init = init.meet(&Partition::from_dense_keys(n, &keys, 2));
+    }
+    let relations: Vec<&Partition> = partitions.iter().collect();
+    let classes = coarsest_refinement(init, &relations);
+    let k = classes.num_blocks();
+    // Representative (first point) per class and the point→class map.
+    let mut class_of = vec![0u32; n];
+    let mut rep: Vec<u32> = Vec::with_capacity(k);
+    for b in 0..k {
+        let mut members = classes.block_members(b);
+        rep.push(members.next().expect("blocks are non-empty").index() as u32);
+        for w in classes.block_members(b) {
+            class_of[w.index()] = b as u32;
+        }
+    }
+    let locate = |w: u32| -> (usize, u64) {
+        let run = match offsets.binary_search(&w) {
+            Ok(r) => r,
+            Err(ins) => ins - 1,
+        };
+        (run, (w - offsets[run]) as u64)
+    };
+    let mut qb = ModelBuilder::new(system.num_procs());
+    for &r in &rep {
+        let (run, t) = locate(r);
+        qb.add_world(format!("{}@{t}", system.run(RunId::from(run)).name));
+    }
+    for ((name, _), bits) in facts.iter().zip(fact_bits) {
+        let atom = qb.atom(name.clone());
+        for (b, &r) in rep.iter().enumerate() {
+            if bits[r as usize] {
+                qb.set_atom(atom, WorldId::new(b), true);
+            }
+        }
+    }
+    for (i, part) in quotient_partitions(&classes, &relations)
+        .into_iter()
+        .enumerate()
+    {
+        qb.set_partition(AgentId::new(i), part);
+    }
+    Minimized {
+        model: qb.build(),
+        class_of,
     }
 }
 
@@ -144,6 +244,9 @@ pub struct InterpretedSystem {
     /// `clocks[agent][world]`.
     clocks: Vec<Vec<Option<u64>>>,
     view_name: &'static str,
+    /// The bisimulation quotient, when construction folded it in (see
+    /// [`InterpretedSystemBuilder::minimized`]).
+    quotient: Option<Minimized>,
 }
 
 impl InterpretedSystem {
@@ -153,7 +256,18 @@ impl InterpretedSystem {
             system,
             view: Box::new(view),
             facts: Vec::new(),
+            minimize: false,
         }
+    }
+
+    /// The bisimulation quotient computed at build time, if
+    /// [`minimized`](InterpretedSystemBuilder::minimized) was requested:
+    /// a (usually much smaller) model answering every `D`-free static
+    /// formula identically at `quotient.image(w)`, plus the point→class
+    /// map. Temporal operators and `D_G` are not quotient-invariant —
+    /// evaluate those on `self` directly.
+    pub fn quotient(&self) -> Option<&Minimized> {
+        self.quotient.as_ref()
     }
 
     /// The underlying system of runs.
@@ -278,6 +392,20 @@ impl Frame for InterpretedSystem {
 
     fn temporal(&self) -> Option<&dyn TemporalStructure> {
         Some(self)
+    }
+
+    fn atom_table(&self) -> Option<&dyn AtomTable> {
+        Some(self)
+    }
+}
+
+impl AtomTable for InterpretedSystem {
+    fn atom_index(&self, name: &str) -> Option<usize> {
+        self.model.atom_id(name).map(|a| a.index())
+    }
+
+    fn atom_set_by_id(&self, id: usize) -> WorldSet {
+        self.model.atom_set(id.into())
     }
 }
 
@@ -420,5 +548,49 @@ mod tests {
     fn world_out_of_range_panics() {
         let isys = interp(msg_system());
         isys.world(RunId(0), 9);
+    }
+
+    fn interp_minimized(sys: System) -> InterpretedSystem {
+        InterpretedSystem::builder(sys, CompleteHistory)
+            .fact("sent", |run, t| {
+                run.proc(a(0))
+                    .events_before(t + 1)
+                    .any(|e| matches!(e.event, Event::Send { .. }))
+            })
+            .minimized(true)
+            .build()
+    }
+
+    #[test]
+    fn minimized_build_matches_post_hoc_minimisation() {
+        let isys = interp_minimized(msg_system());
+        let q = isys.quotient().expect("fold requested");
+        // The fold must agree (up to world count and formula verdicts)
+        // with minimising the materialised model after the fact.
+        let post = hm_kripke::minimize(isys.model());
+        assert_eq!(q.model.num_worlds(), post.model.num_worlds());
+        assert!(q.model.num_worlds() < isys.model().num_worlds());
+        // Verdict invariance on the D-free static fragment.
+        for src in ["sent", "K0 sent", "K1 sent", "C{0,1} sent", "S{0,1} !sent"] {
+            let f = parse(src).unwrap();
+            let full = isys.eval(&f).unwrap();
+            let quot = hm_logic::evaluate(&q.model, &f).unwrap();
+            for w in 0..isys.model().num_worlds() {
+                let w = WorldId::new(w);
+                assert_eq!(full.contains(w), quot.contains(q.image(w)), "{src} at {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn quotient_worlds_carry_point_names() {
+        let isys = interp_minimized(msg_system());
+        let q = isys.quotient().unwrap();
+        for w in 0..q.model.num_worlds() {
+            let label = q.model.world_label(WorldId::new(w));
+            assert!(label.contains('@'), "quotient label {label} is run@t");
+        }
+        // Unminimised builds carry no quotient.
+        assert!(interp(msg_system()).quotient().is_none());
     }
 }

@@ -1,11 +1,14 @@
-//! Ad-hoc epistemic queries against the built-in scenarios.
+//! Ad-hoc epistemic queries against the built-in scenarios, through the
+//! `hm-engine` pipeline.
 //!
 //! Usage:
 //! ```text
 //! cargo run --example epistemic_query -- <scenario> "<formula>"
 //! ```
-//! Scenarios: `muddy4` (4 muddy children), `generals` (handshake,
-//! horizon 8), `r2d2` (uncertain channel, ε = 2).
+//! Scenarios: any name in the engine's built-in registry — `muddy4`
+//! (4 muddy children, and `muddy2`…`muddy8`), `generals` (handshake,
+//! horizon 8), `r2d2` (uncertain channel, ε = 2), `r2d2-exact`,
+//! `r2d2-timestamped`, `ok`.
 //!
 //! Formula syntax (see `hm-logic`): atoms, `! & | -> <->`,
 //! `K0 K1 … E{0,1} E^2{0,1} S{..} D{..} C{..}`,
@@ -19,11 +22,7 @@
 //! cargo run --example epistemic_query -- r2d2 "Ceps[2]{0,1} sent"
 //! ```
 
-use halpern_moses::core::puzzles::attack::generals_interpreted;
-use halpern_moses::core::puzzles::muddy::MuddyChildren;
-use halpern_moses::core::puzzles::r2d2::r2d2_interpreted;
-use halpern_moses::logic::{evaluate, parse};
-use halpern_moses::netsim::scenarios::R2d2Mode;
+use halpern_moses::engine::{Engine, EngineError, Query, ScenarioRegistry};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut args = std::env::args().skip(1);
@@ -31,57 +30,41 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let src = args
         .next()
         .unwrap_or_else(|| "E{0,1,2,3} m & !E^2{0,1,2,3} m".into());
-    let formula = parse(&src)?;
+    let query = Query::parse(&src)?;
     println!("scenario: {scenario}");
-    println!("formula:  {formula}");
+    println!("formula:  {query}");
 
-    match scenario.as_str() {
-        "muddy4" => {
-            let p = MuddyChildren::new(4);
-            let holds = evaluate(p.model(), &formula)?;
-            println!(
-                "holds at {}/{} worlds:",
-                holds.count(),
-                p.model().num_worlds()
-            );
-            for w in holds.iter() {
-                println!("  {}", p.model().world_label(w));
-            }
-        }
-        "generals" => {
-            let isys = generals_interpreted(8)?;
-            let holds = isys.eval(&formula)?;
-            println!(
-                "holds at {}/{} points:",
-                holds.count(),
-                isys.model().num_worlds()
-            );
-            for w in holds.iter().take(40) {
-                println!("  {}", isys.point_name(w));
-            }
-            if holds.count() > 40 {
-                println!("  … ({} more)", holds.count() - 40);
-            }
-        }
-        "r2d2" => {
-            let analysis = r2d2_interpreted(2, 3, 3, R2d2Mode::Uncertain);
-            let holds = analysis.isys.eval(&formula)?;
-            println!(
-                "holds at {}/{} points:",
-                holds.count(),
-                analysis.isys.model().num_worlds()
-            );
-            for w in holds.iter().take(40) {
-                println!("  {}", analysis.isys.point_name(w));
-            }
-            if holds.count() > 40 {
-                println!("  … ({} more)", holds.count() - 40);
-            }
-        }
-        other => {
-            eprintln!("unknown scenario `{other}` (use muddy4 | generals | r2d2)");
+    // One pipeline for every scenario: name → Engine → Session → Verdict.
+    let mut session = match Engine::for_scenario(&scenario).build() {
+        Ok(s) => s,
+        Err(EngineError::UnknownScenario(name)) => {
+            let names = ScenarioRegistry::builtin().names().join(" | ");
+            eprintln!("unknown scenario `{name}` (use {names})");
             std::process::exit(2);
         }
+        Err(e) => return Err(e.into()),
+    };
+    let verdict = session.ask(&query)?;
+    let kind = if session.interpreted().is_some() {
+        "points"
+    } else {
+        "worlds"
+    };
+    println!(
+        "holds at {}/{} {kind}:",
+        verdict.count(),
+        session.num_worlds()
+    );
+    let cap = if session.interpreted().is_some() {
+        40
+    } else {
+        usize::MAX
+    };
+    for w in verdict.satisfying().iter().take(cap) {
+        println!("  {}", session.world_name(w));
+    }
+    if verdict.count() > cap {
+        println!("  … ({} more)", verdict.count() - cap);
     }
     Ok(())
 }

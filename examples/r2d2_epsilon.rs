@@ -39,7 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let analysis = r2d2_interpreted(eps, 4, 4, R2d2Mode::Uncertain);
     let ts = analysis.meta.ts;
     println!("message sent at t_S = {ts}; onsets in the slow run:");
-    for (k, onset) in ladder_onsets(&analysis, 3)?.iter().enumerate() {
+    for (k, onset) in ladder_onsets(&analysis.isys, &analysis.meta, 3)?
+        .iter()
+        .enumerate()
+    {
         match onset {
             Some(t) => {
                 let expect = if k == 0 {
@@ -55,7 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Count CK points inside the meaningful window (before the finite
     // family's last send time, past which `sent` is vacuously valid).
     let last_send = 8 * eps; // (pre + post) · ε with pre = post = 4
-    let ck = ck_sent(&analysis)?;
+    let ck = ck_sent(&analysis.isys)?;
     let in_window = isys_window_count(&analysis, &ck, last_send);
     println!("C(sent) points before t = {last_send}: {in_window} (paper: unattainable)");
 

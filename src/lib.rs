@@ -15,6 +15,9 @@
 //! - [`core`]: the paper's results as executable analyses — the knowledge
 //!   hierarchy, attainability theorems, common-knowledge variants,
 //!   puzzles and agreement protocols.
+//! - [`engine`]: the compiled query engine — a builder-style pipeline
+//!   (`Engine::for_scenario(..).build()` → `Session`) that constructs any
+//!   worked example by name, compiles formulas once, and answers queries.
 //!
 //! # Quick start
 //!
@@ -31,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub use hm_core as core;
+pub use hm_engine as engine;
 pub use hm_kripke as kripke;
 pub use hm_logic as logic;
 pub use hm_netsim as netsim;

@@ -122,7 +122,7 @@ fn e8_ceps_strictly_weaker_than_c() {
         .isys
         .eval(&Formula::common_eps(g2(), eps, fact))
         .unwrap();
-    let c = ck_sent(&analysis).unwrap();
+    let c = ck_sent(&analysis.isys).unwrap();
     let last_send = (pre + post) as u64 * eps;
     // C^ε holds at the focus run shortly after the send…
     let focus = analysis.meta.focus_slow;
