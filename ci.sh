@@ -11,9 +11,19 @@ cargo clippy --workspace --all-targets -- -D warnings
 # Docs must build warning-clean (broken intra-doc links, missing docs).
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
 
-# Tier-1 verify (must match ROADMAP.md).
+# Tier-1 verify (must match ROADMAP.md). --all-targets skips doctests
+# here so the explicit doctest gate below runs each suite exactly once.
 cargo build --release
-cargo test -q
+cargo test -q --all-targets
+
+# Doctests explicitly: the README-facing examples (Engine::for_scenario
+# spec strings, the spec parser) must stay runnable.
+cargo test -q --doc
+
+# CLI smoke: the scenario catalog resolves and a spec-string query
+# answers end to end.
+cargo run --release -q -p hm-bench --bin hm -- list > /dev/null
+cargo run --release -q -p hm-bench --bin hm -- ask "agreement:n=3,f=1" "C{0,1,2} min0" --show 0
 
 # Bench smoke: every benchmark runs once (1 sample x 1 iter, no summary
 # file written), so bench code cannot bit-rot without failing CI.

@@ -1,0 +1,220 @@
+//! `hm` — the scenario CLI: every worked frame of Halpern–Moses,
+//! reachable from one spec string, no Rust required.
+//!
+//! ```text
+//! hm list                               catalog of registered scenarios
+//! hm describe <name>                    parameters, ranges, example
+//! hm ask [opts] <spec> <formula>        build the frame, print the verdict
+//! hm exp [E1 E2 …]                      run the E1–E18 experiment driver
+//! hm help
+//! ```
+//!
+//! `ask` options:
+//!
+//! ```text
+//! --horizon N    override the scenario's time horizon
+//! --minimize     answer quotient-safe queries on the bisimulation quotient
+//! --parallel     enumerate adversary branches on threads
+//! --show N       list at most N satisfying points (default 10; 0 = none)
+//! ```
+//!
+//! Examples:
+//!
+//! ```text
+//! hm ask generals "K1 dispatched & !K0 K1 dispatched"
+//! hm ask agreement:n=3,f=1 "C{0,1,2} min0"
+//! hm ask muddy:n=6,dirty=3 "K0 muddy0"
+//! hm ask r2d2:eps=3 "Ceps[3]{0,1} sent"
+//! ```
+//!
+//! Exit codes: 0 = success, 1 = evaluation error, 2 = usage/spec error.
+
+use hm_engine::{Engine, EngineError, Query, Scenario, ScenarioRegistry};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        None | Some("help") | Some("-h") | Some("--help") => {
+            print!("{}", USAGE);
+            0
+        }
+        Some("list") => list(),
+        Some("describe") => describe(&args[1..]),
+        Some("ask") => ask(&args[1..]),
+        Some("exp") => {
+            hm_bench::experiments::run(&args[1..]);
+            0
+        }
+        Some(other) => {
+            eprintln!("unknown command `{other}` (try `hm help`)");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+const USAGE: &str = "\
+hm — epistemic queries against the Halpern-Moses scenario registry
+
+usage:
+  hm list                          catalog of registered scenarios
+  hm describe <name>               parameters, ranges, example invocation
+  hm ask [opts] <spec> <formula>   build the frame, print the verdict
+  hm exp [E1 E2 ...]               run the E1-E18 experiment driver
+  hm help                          this text
+
+ask options:
+  --horizon N    override the scenario's time horizon
+  --minimize     answer quotient-safe queries on the bisimulation quotient
+  --parallel     enumerate adversary branches on threads
+  --show N       list at most N satisfying points (default 10; 0 = none)
+
+a <spec> is name:key=value,... e.g. generals, agreement:n=3,f=1,
+muddy:n=6,dirty=3, r2d2:eps=3 — see `hm list` and SCENARIOS.md.
+";
+
+fn list() -> i32 {
+    let reg = ScenarioRegistry::builtin();
+    println!("registered scenarios (spec syntax: name:key=value,...):");
+    for s in reg.iter() {
+        println!("  {:<22}{}", s.name(), s.summary());
+    }
+    println!("use `hm describe <name>` for parameters and an example.");
+    0
+}
+
+fn describe(args: &[String]) -> i32 {
+    let [name] = args else {
+        eprintln!("usage: hm describe <name>");
+        return 2;
+    };
+    let reg = ScenarioRegistry::builtin();
+    // Resolving the bare name also catches typos with a suggestion.
+    let scenario = match reg.resolve(name) {
+        Ok((s, _)) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    print_description(scenario);
+    0
+}
+
+fn print_description(s: &dyn Scenario) {
+    println!("{} — {}", s.name(), s.summary());
+    let exercised = s.experiments();
+    if !exercised.is_empty() {
+        println!("  exercised by: {exercised}");
+    }
+    let params = s.params();
+    if params.is_empty() {
+        println!("  parameters: none");
+    } else {
+        println!("  parameters:");
+        for p in &params {
+            println!(
+                "    {:<14}{:<22}(default {})  {}",
+                p.key,
+                p.kind.to_string(),
+                p.default,
+                p.doc
+            );
+        }
+    }
+    println!("  example: hm ask {} \"{}\"", s.name(), s.example_query());
+}
+
+fn ask(args: &[String]) -> i32 {
+    let mut horizon: Option<u64> = None;
+    let mut minimize = false;
+    let mut parallel = false;
+    let mut show: usize = 10;
+    let mut positional: Vec<&String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--horizon" | "--show" => {
+                let Some(value) = it.next().and_then(|v| v.parse::<u64>().ok()) else {
+                    eprintln!("{arg} needs an integer argument");
+                    return 2;
+                };
+                if arg == "--horizon" {
+                    horizon = Some(value);
+                } else {
+                    show = value as usize;
+                }
+            }
+            "--minimize" => minimize = true,
+            "--parallel" => parallel = true,
+            other if other.starts_with("--") => {
+                eprintln!("unknown option `{other}` (try `hm help`)");
+                return 2;
+            }
+            _ => positional.push(arg),
+        }
+    }
+    let [spec, formula] = positional[..] else {
+        eprintln!("usage: hm ask [opts] <spec> <formula>");
+        return 2;
+    };
+
+    let query = match Query::parse(formula) {
+        Ok(q) => q,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let mut engine = Engine::for_scenario(spec)
+        .minimize(minimize)
+        .parallel_enumeration(parallel);
+    if let Some(h) = horizon {
+        engine = engine.horizon(h);
+    }
+    let mut session = match engine.build() {
+        Ok(s) => s,
+        Err(EngineError::Spec(e)) => {
+            eprintln!("{e}");
+            return 2;
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            return 1;
+        }
+    };
+    let verdict = match session.ask(&query) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{e}");
+            return 1;
+        }
+    };
+
+    let kind = if session.interpreted().is_some() {
+        "points"
+    } else {
+        "worlds"
+    };
+    println!("scenario: {spec}");
+    println!("formula:  {query}");
+    println!(
+        "holds at {}/{} {kind}{}",
+        verdict.count(),
+        session.num_worlds(),
+        if verdict.is_valid() {
+            " (valid: everywhere)"
+        } else if verdict.is_empty() {
+            " (nowhere)"
+        } else {
+            ""
+        }
+    );
+    for w in verdict.satisfying().iter().take(show) {
+        println!("  {}", session.world_name(w));
+    }
+    if verdict.count() > show && show > 0 {
+        println!("  … ({} more)", verdict.count() - show);
+    }
+    0
+}

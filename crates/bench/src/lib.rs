@@ -1,4 +1,8 @@
 //! Experiment drivers and Criterion benchmarks for the Halpern–Moses
-//! reproduction. See `src/bin/experiments.rs` for the per-experiment
-//! driver and `benches/` for the performance benchmarks.
+//! reproduction. See [`experiments`] for the E1–E18 driver bodies
+//! (shared by the `experiments` binary and the `hm` CLI's `exp`
+//! subcommand), `src/bin/hm.rs` for the scenario CLI, and `benches/`
+//! for the performance benchmarks.
 #![forbid(unsafe_code)]
+
+pub mod experiments;

@@ -1,0 +1,143 @@
+//! Golden-output tests of the `hm` CLI: the printed text is part of the
+//! contract (scripts parse it), so it is pinned verbatim here. Cargo
+//! builds the binary before running this test and exposes its path as
+//! `CARGO_BIN_EXE_hm`.
+
+use std::process::{Command, Output};
+
+fn hm(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_hm"))
+        .args(args)
+        .output()
+        .expect("spawn hm")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8(out.stdout.clone()).expect("utf8 stdout")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8(out.stderr.clone()).expect("utf8 stderr")
+}
+
+#[test]
+fn ask_golden_output() {
+    let out = hm(&["ask", "muddy:n=3,dirty=1", "K0 muddy0", "--show", "8"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert_eq!(
+        stdout(&out),
+        "scenario: muddy:n=3,dirty=1\n\
+         formula:  K0 muddy0\n\
+         holds at 1/7 worlds\n\
+         \x20\x20001\n",
+        "after the announcement, only the lone muddy child knows"
+    );
+}
+
+#[test]
+fn ask_counts_only_with_show_zero() {
+    let out = hm(&["ask", "agreement", "C{0,1,2} min0", "--show", "0"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert_eq!(
+        stdout(&out),
+        "scenario: agreement\n\
+         formula:  C{p0,p1,p2} min0\n\
+         holds at 344/1000 points\n"
+    );
+}
+
+#[test]
+fn exp_matches_the_experiment_driver() {
+    let out = hm(&["exp", "E16"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert_eq!(
+        stdout(&out),
+        "==== E16 ====\n\
+         K0(sent_twice) points — complete-history: 2, last-event: 0, lambda: 0\n\
+         (finest view knows most; lambda knows only valid facts)\n\n"
+    );
+}
+
+#[test]
+fn list_covers_the_catalog() {
+    let out = hm(&["list"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.starts_with("registered scenarios (spec syntax: name:key=value,...):\n"));
+    for name in [
+        "muddy",
+        "generals",
+        "generals-unbounded",
+        "r2d2",
+        "r2d2-exact",
+        "r2d2-timestamped",
+        "uncertain-start",
+        "ok",
+        "skewed",
+        "agreement",
+        "deadlock",
+        "consistency",
+        "views",
+        "random",
+    ] {
+        assert!(
+            text.lines().any(|l| l.trim_start().starts_with(name)),
+            "`{name}` missing from hm list:\n{text}"
+        );
+    }
+}
+
+#[test]
+fn spec_errors_exit_2_with_suggestion() {
+    let out = hm(&["ask", "agrement", "K0 m"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("did you mean `agreement`?"), "{err}");
+
+    let out = hm(&["ask", "muddy:n=99", "K0 m"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("out of range"), "{}", stderr(&out));
+
+    let out = hm(&["describe", "generls"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        stderr(&out).contains("did you mean `generals`?"),
+        "{}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn describe_shows_parameters_and_example() {
+    let out = hm(&["describe", "agreement"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    for needle in [
+        "agreement — simultaneous agreement under crash failures",
+        "exercised by: E18",
+        "integer in 3..=4",
+        "integer in 1..=2",
+        "example: hm ask agreement \"C{0,1,2} min0\"",
+    ] {
+        assert!(text.contains(needle), "`{needle}` missing:\n{text}");
+    }
+}
+
+#[test]
+fn usage_errors_exit_2() {
+    for args in [
+        &["ask", "generals"][..],
+        &["describe"][..],
+        &["frobnicate"][..],
+        &["ask", "generals", "K1 dispatched", "--horizon"][..],
+    ] {
+        let out = hm(args);
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
+    }
+    // `hm` and `hm help` print usage and succeed.
+    for args in [&[][..], &["help"][..]] {
+        let out = hm(args);
+        assert!(out.status.success(), "{args:?}");
+        assert!(stdout(&out).contains("usage:"));
+    }
+}

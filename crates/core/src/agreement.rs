@@ -16,9 +16,12 @@
 //!
 //! Crash semantics: a processor crashing in round `r` sends that round's
 //! messages to an adversary-chosen subset of the others, then is silent
-//! forever. We enumerate every `(crasher, round, subset)` with at most
-//! `f = 1` crash, plus the failure-free pattern, over all binary input
-//! assignments.
+//! forever. We enumerate every pattern of at most `f` crashes — each a
+//! `(crasher, round, subset)` triple with distinct crashers — plus the
+//! failure-free pattern, over all binary input assignments. This
+//! implementation supports `f ∈ {1, 2}`; the structure generalises but
+//! the pattern space grows fast (`n = 3, f = 1`: 200 runs; `n = 3,
+//! f = 2`: 3 752; `n = 4, f = 2`: ~57k).
 
 use hm_kripke::{AgentGroup, AgentId};
 use hm_logic::{EvalError, Formula};
@@ -35,39 +38,50 @@ pub const ACT_DECIDE: u32 = 201;
 pub struct AgreementSpec {
     /// Number of processors (3..=4 keeps enumeration snappy).
     pub n: usize,
-    /// Maximum number of crashes (this implementation enumerates `f ≤ 1`).
+    /// Maximum number of crashes (this implementation enumerates
+    /// `f ∈ {1, 2}`).
     pub f: usize,
 }
 
-/// One enumerated crash pattern.
+/// One crash: the crasher, its final (1-based) round, and the
+/// recipients that still get its final-round message.
 #[derive(Debug, Clone, PartialEq, Eq)]
-enum CrashPattern {
-    None,
-    /// `(crasher, round (1-based), recipients that still get its round-r
-    /// message)`.
-    Crash(usize, usize, Vec<usize>),
+struct Crash {
+    crasher: usize,
+    round: usize,
+    recipients: Vec<usize>,
 }
 
+/// A crash pattern: at most `f` crashes with distinct crashers; empty
+/// means failure-free.
+type CrashPattern = Vec<Crash>;
+
 /// Builds the full system of runs of the `f + 1`-round full-information
-/// protocol: every input assignment in `{0,1}^n` × every crash pattern.
+/// protocol: every input assignment in `{0,1}^n` × every crash pattern
+/// of at most `f` crashes.
 ///
 /// Timeline: round `r` messages are sent at time `r` and received at
 /// time `r` (entering histories at `r + 1`); decisions are recorded at
-/// time `f + 1 + 1`. The horizon is `f + 3`.
+/// time `f + 2`. The horizon is `f + 3`.
 ///
 /// # Panics
 ///
-/// Panics if `spec.f != 1` or `spec.n < 3` (the interesting minimal case;
-/// the structure generalises but enumeration grows fast).
+/// Panics unless `spec.f ∈ {1, 2}` and `spec.n >= 3` and
+/// `spec.n > spec.f` (the implemented range; the structure generalises
+/// but enumeration grows fast).
 pub fn agreement_system(spec: AgreementSpec) -> System {
-    assert_eq!(spec.f, 1, "this experiment enumerates exactly f = 1");
-    assert!(spec.n >= 3, "need n >= 3 for f = 1");
+    assert!(
+        (1..=2).contains(&spec.f),
+        "this experiment enumerates f in 1..=2"
+    );
+    assert!(spec.n >= 3 && spec.n > spec.f, "need n >= 3 and n > f");
     let n = spec.n;
-    let rounds = spec.f + 1; // f+1 = 2 rounds
+    let rounds = spec.f + 1;
     let decide_at = (rounds + 1) as u64; // decisions enter history by then
     let horizon = decide_at + 1;
 
-    let mut patterns = vec![CrashPattern::None];
+    // Every single crash, in (crasher, round, subset-mask) order.
+    let mut singles: Vec<Crash> = Vec::new();
     for crasher in 0..n {
         for round in 1..=rounds {
             // Every subset of the other processors may still be served.
@@ -79,7 +93,25 @@ pub fn agreement_system(spec: AgreementSpec) -> System {
                     .filter(|&(k, _)| mask & (1 << k) != 0)
                     .map(|(_, &j)| j)
                     .collect();
-                patterns.push(CrashPattern::Crash(crasher, round, recipients));
+                singles.push(Crash {
+                    crasher,
+                    round,
+                    recipients,
+                });
+            }
+        }
+    }
+    // Failure-free, then the singles, then (for f = 2) every pair with
+    // distinct crashers — the f = 1 prefix is exactly the historical
+    // enumeration order.
+    let mut patterns: Vec<CrashPattern> = vec![Vec::new()];
+    patterns.extend(singles.iter().cloned().map(|c| vec![c]));
+    if spec.f >= 2 {
+        for (i, a) in singles.iter().enumerate() {
+            for b in &singles[i + 1..] {
+                if a.crasher != b.crasher {
+                    patterns.push(vec![a.clone(), b.clone()]);
+                }
             }
         }
     }
@@ -95,22 +127,26 @@ pub fn agreement_system(spec: AgreementSpec) -> System {
 
 /// Deterministically executes one crash pattern.
 #[allow(clippy::needless_range_loop)] // index used for identity & seen[]
-fn execute(
-    n: usize,
-    rounds: usize,
-    horizon: u64,
-    inputs: u64,
-    pattern: &CrashPattern,
-) -> hm_runs::Run {
-    let name = match pattern {
-        CrashPattern::None => format!("v{inputs:0width$b}-clean", width = n),
-        CrashPattern::Crash(c, r, recips) => {
-            format!(
-                "v{inputs:0width$b}-c{c}r{r}s{}",
-                recips.iter().map(|j| j.to_string()).collect::<String>(),
-                width = n
-            )
-        }
+fn execute(n: usize, rounds: usize, horizon: u64, inputs: u64, pattern: &[Crash]) -> hm_runs::Run {
+    let name = if pattern.is_empty() {
+        format!("v{inputs:0width$b}-clean", width = n)
+    } else {
+        let segments = pattern
+            .iter()
+            .map(|c| {
+                format!(
+                    "c{}r{}s{}",
+                    c.crasher,
+                    c.round,
+                    c.recipients
+                        .iter()
+                        .map(|j| j.to_string())
+                        .collect::<String>()
+                )
+            })
+            .collect::<Vec<_>>()
+            .join("+");
+        format!("v{inputs:0width$b}-{segments}", width = n)
     };
     // seen[i] = bitmask of processors whose initial value i has seen.
     let mut seen: Vec<u64> = (0..n).map(|i| 1 << i).collect();
@@ -122,7 +158,7 @@ fn execute(
             .perfect_clock(AgentId::new(i), 0);
     }
     let crashed = |i: usize, round: usize| -> bool {
-        matches!(pattern, CrashPattern::Crash(c, r, _) if *c == i && round > *r)
+        pattern.iter().any(|c| c.crasher == i && round > c.round)
     };
     for round in 1..=rounds {
         let t = round as u64;
@@ -137,11 +173,9 @@ fn execute(
                 if j == i {
                     continue;
                 }
-                let delivered = match pattern {
-                    CrashPattern::Crash(c, r, recips) if *c == i && *r == round => {
-                        recips.contains(&j)
-                    }
-                    _ => true,
+                let delivered = match pattern.iter().find(|c| c.crasher == i && c.round == round) {
+                    Some(c) => c.recipients.contains(&j),
+                    None => true,
                 };
                 b = b.event(
                     AgentId::new(i),
@@ -368,6 +402,53 @@ mod tests {
             .find(|(_, r)| r.name == "v110-clean")
             .unwrap();
         assert!(!ck.contains(isys.world(rid, 2)));
+    }
+
+    #[test]
+    fn safety_with_two_crashes() {
+        let system = agreement_system(AgreementSpec { n: 3, f: 2 });
+        // Singles: 3 crashers x 3 rounds x 4 subsets = 36; pairs with
+        // distinct crashers: C(36,2) - 3*C(12,2) = 432; + clean = 469
+        // patterns, times 8 input vectors.
+        assert_eq!(system.num_runs(), 8 * 469);
+        let report = check_safety(&system);
+        assert_eq!(report.agreement_violations, 0, "agreement");
+        assert_eq!(report.validity_violations, 0, "validity");
+        // Simultaneity holds here too.
+        for (_, run) in system.runs() {
+            let times: Vec<u64> = (0..3)
+                .filter_map(|i| {
+                    run.proc(AgentId::new(i)).events.iter().find_map(|e| {
+                        matches!(e.event, Event::Act { action, .. } if action == ACT_DECIDE)
+                            .then_some(e.time)
+                    })
+                })
+                .collect();
+            assert!(times.windows(2).all(|w| w[0] == w[1]), "{}", run.name);
+        }
+    }
+
+    #[test]
+    fn ck_onset_moves_to_round_f_plus_1_for_f2() {
+        let isys = agreement_interpreted(AgreementSpec { n: 3, f: 2 });
+        // With f = 2 the protocol runs f + 1 = 3 rounds; round-3
+        // messages enter histories at t = 4, so CK of the decision
+        // value arrives exactly there — one round later than f = 1.
+        let onset = ck_onset_in_clean_run(&isys, 0b110).unwrap();
+        assert_eq!(onset, Some(4), "CK at the end of round f+1 = 3");
+    }
+
+    #[test]
+    fn f1_run_names_are_stable() {
+        // The f = 1 enumeration (order and names) is pinned: the E18
+        // driver output and the recorded experiments depend on it.
+        let system = agreement_system(SPEC);
+        let first: Vec<&str> = system
+            .runs()
+            .take(3)
+            .map(|(_, r)| r.name.as_str())
+            .collect();
+        assert_eq!(first, ["v000-clean", "v000-c0r1s", "v000-c0r1s1"]);
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! | [`attain`] | Section 8, App. B — Theorems 5/7/8, Props. 13/15 |
 //! | [`variants`] | Sections 11–12 — `C^ε`, `C^◇`, `C^T`, Thms. 9/11/12 |
 //! | [`consistency`] | Section 13 — internal knowledge consistency |
+//! | [`frames`] | Sections 6, 13 — the E14/E16 didactic frames |
 //! | [`discovery`] | Section 3 — fact discovery and publication |
 //! | [`kbp`] | Section 14 / \[HF85\] — knowledge-based protocols |
 //! | [`agreement`] | Section 11 fn. 5 / \[DM90\] — simultaneous agreement |
@@ -26,6 +27,7 @@ pub mod agreement;
 pub mod attain;
 pub mod consistency;
 pub mod discovery;
+pub mod frames;
 pub mod hierarchy;
 pub mod kbp;
 pub mod puzzles;

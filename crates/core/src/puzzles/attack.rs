@@ -48,6 +48,55 @@ pub fn generals_builder(
     Ok(builder_with_facts(generals_system_opts(horizon, parallel)?))
 }
 
+/// The Theorem 7 frame (Section 7): a single would-be send from A to B
+/// under **unbounded** delivery delay (NG1′ instead of NG1), one run
+/// family per intent bit. The fact `sent` is "A has dispatched its
+/// message" (stable). This is the `generals-unbounded` registry
+/// scenario and the E5 frame.
+///
+/// # Errors
+///
+/// Propagates [`EnumerateError`] from run enumeration.
+pub fn generals_unbounded_builder(
+    horizon: u64,
+) -> Result<InterpretedSystemBuilder, EnumerateError> {
+    use hm_netsim::{
+        enumerate_runs, Command, ExecutionSpec, FnProtocol, LocalView, UnboundedDelay,
+    };
+    use hm_runs::Message;
+    let protocol = FnProtocol::new("oneshot", |v: &LocalView<'_>| {
+        if v.me.index() == 0 && v.initial_state == 1 && v.sent().count() == 0 {
+            vec![Command::Send {
+                to: AgentId::new(1),
+                msg: Message::tagged(1),
+            }]
+        } else {
+            Vec::new()
+        }
+    });
+    let mut runs = Vec::new();
+    for intent in 0..=1u64 {
+        runs.extend(enumerate_runs(
+            &protocol,
+            &UnboundedDelay { min_delay: 1 },
+            &ExecutionSpec::simple(2, horizon)
+                .with_initial_states(vec![intent, 0])
+                .with_label(format!("i{intent}")),
+            1024,
+        )?);
+    }
+    Ok(
+        InterpretedSystem::builder(hm_runs::System::new(runs), CompleteHistory).fact(
+            "sent",
+            |run, t| {
+                run.proc(AgentId::new(0))
+                    .events_before(t + 1)
+                    .any(|e| matches!(e.event, Event::Send { .. }))
+            },
+        ),
+    )
+}
+
 /// Interprets an attack-rule system (see
 /// [`generals_attack_system`]).
 ///

@@ -194,6 +194,37 @@ impl MuddyChildren {
         Trace { actual, answers }
     }
 
+    /// The model after the father's announcement of `m` and
+    /// `silent_rounds` unanimous-"no" rounds — the frame right before
+    /// question `silent_rounds + 1`. After `j` unanimous "no"s the
+    /// surviving worlds are exactly those with at least `j + 1` muddy
+    /// children, so `silent_rounds = n - 1` leaves only the all-muddy
+    /// world. Atoms (`m`, `muddy{i}`) carry over to the restriction.
+    ///
+    /// This is the frame the `hm-engine` registry serves for
+    /// `muddy:n=…,dirty=k` (with `silent_rounds = k - 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `silent_rounds >= n` (the announcement sequence would
+    /// be inconsistent: no world survives).
+    pub fn announced_model(&self, silent_rounds: usize) -> KripkeModel {
+        assert!(
+            silent_rounds < self.n,
+            "after {silent_rounds} unanimous-no rounds no world would survive"
+        );
+        let mut r = Restriction::new(&self.model);
+        r.announce(&self.m_set()).expect("some world has mud");
+        for _ in 0..silent_rounds {
+            let mut surviving = r.alive().clone();
+            for i in 0..self.n {
+                surviving.intersect_with(&self.can_answer(&r, i).complement());
+            }
+            r.announce(&surviving).expect("a deeper-mud world survives");
+        }
+        r.to_model().0
+    }
+
     /// The group of all children.
     pub fn group(&self) -> AgentGroup {
         AgentGroup::all(self.n)

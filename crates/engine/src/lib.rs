@@ -9,7 +9,9 @@
 //! pipeline a first-class API instead of hand-wired calls:
 //!
 //! ```text
-//! Engine::for_scenario("generals")   // or from_system / from_model …
+//! Engine::for_scenario("generals")   // or a parameterized spec string
+//!     //            ("agreement:n=4,f=2", "muddy:n=6,dirty=3", …)
+//!     //             or from_system / from_model …
 //!     .horizon(8)                    // options
 //!     .minimize(true)
 //!     .parallel_enumeration(true)
@@ -47,8 +49,10 @@
 #![warn(missing_docs)]
 
 mod scenario;
+mod spec;
 
 pub use scenario::{Scenario, ScenarioFrame, ScenarioParams, ScenarioRegistry};
+pub use spec::{ParamDescriptor, ParamKind, ParamValue, ParamValues, ScenarioSpec, SpecError};
 
 use hm_kripke::{minimize, KripkeModel, Minimized, WorldId, WorldSet};
 use hm_logic::{compile, Bound, CompiledFormula, EvalError, Formula, Frame, ParseError, F};
@@ -60,8 +64,9 @@ use std::fmt;
 /// Errors of the engine pipeline.
 #[derive(Debug)]
 pub enum EngineError {
-    /// No scenario of this name is registered.
-    UnknownScenario(String),
+    /// The scenario spec failed to parse, named an unregistered
+    /// scenario, or carried invalid parameters.
+    Spec(SpecError),
     /// Run enumeration failed (scenario construction).
     Enumerate(EnumerateError),
     /// Formula compilation or evaluation failed.
@@ -76,7 +81,7 @@ pub enum EngineError {
 impl fmt::Display for EngineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            EngineError::UnknownScenario(name) => write!(f, "unknown scenario `{name}`"),
+            EngineError::Spec(e) => write!(f, "{e}"),
             EngineError::Enumerate(e) => write!(f, "enumeration: {e}"),
             EngineError::Eval(e) => write!(f, "evaluation: {e}"),
             EngineError::Parse(e) => write!(f, "parse: {e}"),
@@ -95,6 +100,12 @@ impl std::error::Error for EngineError {}
 impl From<EnumerateError> for EngineError {
     fn from(e: EnumerateError) -> Self {
         EngineError::Enumerate(e)
+    }
+}
+
+impl From<SpecError> for EngineError {
+    fn from(e: SpecError) -> Self {
+        EngineError::Spec(e)
     }
 }
 
@@ -222,11 +233,31 @@ impl Engine {
         }
     }
 
-    /// Starts from a named scenario of the built-in registry
-    /// ([`ScenarioRegistry::builtin`]): `"muddy4"`, `"generals"`,
-    /// `"r2d2"`, `"ok"`, ….
-    pub fn for_scenario(name: impl Into<String>) -> Engine {
-        Engine::new(Source::Named(name.into()))
+    /// Starts from a scenario spec string resolved against the built-in
+    /// registry ([`ScenarioRegistry::builtin`]): a plain name
+    /// (`"generals"`, `"muddy"`, `"ok"`) uses each parameter's default,
+    /// and `name:key=value,...` configures the frame —
+    /// `"agreement:n=4,f=2"`, `"muddy:n=6,dirty=3"`, `"r2d2:eps=3"`,
+    /// `"skewed:skew=2"`. See `SCENARIOS.md` for the catalog. The spec
+    /// is validated at [`build`](Engine::build) time.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use hm_engine::{Engine, Query};
+    /// // Simultaneous agreement under crash failures, 3 processors,
+    /// // at most 1 crash. The decision value is common knowledge:
+    /// let mut session = Engine::for_scenario("agreement:n=3,f=1").build()?;
+    /// let ck = session.ask(&Query::parse("C{0,1,2} min0")?)?;
+    /// assert!(!ck.is_empty());
+    /// // `agreement:n=4,f=2` is the same family two sizes up (~57k
+    /// // runs — validate cheaply, build when you mean it):
+    /// let engine = Engine::for_scenario("agreement:n=4,f=2");
+    /// # let _ = engine;
+    /// # Ok::<(), hm_engine::EngineError>(())
+    /// ```
+    pub fn for_scenario(spec: impl Into<String>) -> Engine {
+        Engine::new(Source::Named(spec.into()))
     }
 
     /// Starts from a custom [`Scenario`] value.
@@ -252,8 +283,10 @@ impl Engine {
         Engine::new(Source::Model(model))
     }
 
-    /// Overrides the scenario's default horizon (scenario sources only;
-    /// ignored for pre-built sources, whose horizon is already fixed).
+    /// Overrides the scenario's horizon — both its default and any
+    /// `horizon=` spec parameter (scenario sources only; ignored for
+    /// pre-built sources, whose horizon is already fixed, and for
+    /// scenarios without a time horizon).
     pub fn horizon(mut self, h: u64) -> Self {
         self.params.horizon = Some(h);
         self
@@ -281,18 +314,30 @@ impl Engine {
     ///
     /// # Errors
     ///
-    /// [`EngineError::UnknownScenario`] for unregistered names, or
+    /// [`EngineError::Spec`] for malformed specs, unregistered names
+    /// (with a nearest-name suggestion), and invalid parameters; or
     /// [`EngineError::Enumerate`] from scenario construction.
     pub fn build(self) -> Result<Session, EngineError> {
         let frame = match self.source {
-            Source::Named(name) => {
+            Source::Named(spec) => {
                 let registry = ScenarioRegistry::builtin();
-                let scenario = registry
-                    .get(&name)
-                    .ok_or(EngineError::UnknownScenario(name))?;
-                scenario.build(&self.params)?
+                let (scenario, values) = registry.resolve(&spec)?;
+                let params = ScenarioParams {
+                    values,
+                    ..self.params
+                };
+                scenario.build(&params)?
             }
-            Source::Scenario(s) => s.build(&self.params)?,
+            Source::Scenario(s) => {
+                // A directly-passed scenario skips registry resolution,
+                // so fill its declared defaults here — its `build` reads
+                // the typed accessors just like a registry-served one.
+                let params = ScenarioParams {
+                    values: ParamValues::defaults(&s.params()),
+                    ..self.params
+                };
+                s.build(&params)?
+            }
             Source::Builder(b) => ScenarioFrame::Interpreted(b),
             Source::Interpreted(isys) => {
                 return Ok(Session::new(SessionFrame::Interpreted(isys), self.minimize))
@@ -545,8 +590,61 @@ mod tests {
     #[test]
     fn unknown_scenario_errors() {
         let err = Engine::for_scenario("zap").build().unwrap_err();
-        assert!(matches!(err, EngineError::UnknownScenario(_)));
+        assert!(matches!(
+            err,
+            EngineError::Spec(SpecError::UnknownScenario { .. })
+        ));
         assert!(err.to_string().contains("zap"));
+    }
+
+    #[test]
+    fn with_scenario_fills_declared_defaults() {
+        // A custom scenario that declares parameters and reads them
+        // through the typed accessors must see its defaults when passed
+        // directly (no registry resolution on this path).
+        struct Sized;
+        impl Scenario for Sized {
+            fn name(&self) -> String {
+                "sized".into()
+            }
+            fn params(&self) -> Vec<ParamDescriptor> {
+                vec![ParamDescriptor::int("n", 3, 2, 8, "children")]
+            }
+            fn build(&self, params: &ScenarioParams) -> Result<ScenarioFrame, EngineError> {
+                use hm_core::puzzles::muddy::MuddyChildren;
+                Ok(ScenarioFrame::Model(
+                    MuddyChildren::new(params.values.size("n")).model().clone(),
+                ))
+            }
+        }
+        let session = Engine::with_scenario(Sized).build().unwrap();
+        assert_eq!(session.num_worlds(), 8, "default n = 3");
+    }
+
+    #[test]
+    fn spec_strings_configure_scenarios() {
+        let mut small = Engine::for_scenario("generals:horizon=4").build().unwrap();
+        let mut large = Engine::for_scenario("generals:horizon=8").build().unwrap();
+        assert!(small.num_worlds() < large.num_worlds());
+        // An explicit Engine::horizon overrides the spec parameter.
+        let mut overridden = Engine::for_scenario("generals:horizon=4")
+            .horizon(8)
+            .build()
+            .unwrap();
+        assert_eq!(overridden.num_worlds(), large.num_worlds());
+        let q = Query::parse("C{0,1} dispatched").unwrap();
+        for s in [&mut small, &mut large, &mut overridden] {
+            assert!(s.ask(&q).unwrap().is_empty(), "Corollary 6 at any horizon");
+        }
+        // Bad parameters surface as spec errors with the offending key.
+        let err = Engine::for_scenario("generals:horizon=99")
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::Spec(SpecError::OutOfRange { .. })
+        ));
+        assert!(err.to_string().contains("horizon"), "{err}");
     }
 
     #[test]
@@ -634,7 +732,7 @@ mod tests {
 
     #[test]
     fn model_sessions_reject_point_queries() {
-        let mut session = Engine::for_scenario("muddy4").build().unwrap();
+        let mut session = Engine::for_scenario("muddy:n=4").build().unwrap();
         let q = Query::parse("m").unwrap();
         assert!(!session.ask(&q).unwrap().is_empty());
         assert!(matches!(

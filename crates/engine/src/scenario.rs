@@ -1,5 +1,5 @@
-//! The scenario registry: the paper's worked examples, constructible by
-//! name.
+//! The scenario registry: every worked frame of the paper,
+//! constructible from a spec string.
 //!
 //! Every experiment in Halpern–Moses walks the same pipeline — enumerate
 //! runs, interpret them, evaluate formulas — against one of a small set
@@ -9,30 +9,56 @@
 //! the [`Engine`](crate::Engine) can apply its options — horizon,
 //! minimisation, parallel enumeration — uniformly before building.
 //!
-//! [`ScenarioRegistry::builtin`] registers the worked examples:
-//! `muddy2`…`muddy8` (Section 2), `generals` (Section 4), `r2d2` /
-//! `r2d2-exact` / `r2d2-timestamped` (Section 8), and `ok` (Section 11).
+//! [`ScenarioRegistry::builtin`] registers one entry per frame family of
+//! the E1–E18 experiments, each parameterized through the spec grammar
+//! of [`ScenarioSpec`](crate::ScenarioSpec) (see `SCENARIOS.md` at the
+//! repository root for the full catalog):
+//!
+//! | name | frame | paper |
+//! |---|---|---|
+//! | `muddy` | the muddy-children cube, optionally announced | Section 2 |
+//! | `generals` | the coordinated-attack handshake | Sections 4, 7 |
+//! | `generals-unbounded` | one-shot send under unbounded delay | Section 7 |
+//! | `r2d2`, `r2d2-exact`, `r2d2-timestamped` | the ε-delay channel | Section 8 |
+//! | `uncertain-start` | uncertain wake times (Proposition 15) | Section 8, App. B |
+//! | `ok` | the OK protocol over instant-or-lost delivery | Section 11 |
+//! | `skewed` | broadcast with skewed clocks (Theorem 12) | Section 12 |
+//! | `agreement` | simultaneous agreement under crash failures | Section 11 fn. 5 |
+//! | `deadlock` | probe-based deadlock discovery/publication | Section 3 |
+//! | `consistency` | the eager-interpretation IKC frame | Section 13 |
+//! | `views` | two runs under a selectable view function | Section 6 |
+//! | `random` | a seeded pseudo-random S5 model | Appendix A |
+//!
 //! Custom scenarios implement [`Scenario`] and go through
 //! [`Engine::with_scenario`](crate::Engine::with_scenario) or
 //! [`ScenarioRegistry::register`].
 
+use crate::spec::{nearest_name, ParamDescriptor, ParamValues, ScenarioSpec, SpecError};
 use crate::EngineError;
-use hm_core::puzzles::attack::generals_builder;
+use hm_core::agreement::{agreement_builder, AgreementSpec};
+use hm_core::attain::uncertain_start_builder;
+use hm_core::discovery::deadlock_builder;
+use hm_core::frames::{consistency_builder, two_send_views_builder, ViewKind};
+use hm_core::puzzles::attack::{generals_builder, generals_unbounded_builder};
 use hm_core::puzzles::muddy::MuddyChildren;
 use hm_core::puzzles::r2d2::r2d2_parts;
-use hm_core::variants::ok_builder;
-use hm_kripke::KripkeModel;
+use hm_core::variants::{ok_builder, skewed_broadcast_builder};
+use hm_kripke::{random_model, KripkeModel, RandomModelSpec};
 use hm_netsim::scenarios::R2d2Mode;
 use hm_runs::InterpretedSystemBuilder;
 
 /// Options the engine forwards into scenario construction.
 #[derive(Debug, Clone, Default)]
 pub struct ScenarioParams {
-    /// Horizon override; `None` uses the scenario's default.
+    /// Horizon override; `None` uses the spec's `horizon` parameter (or
+    /// the scenario's default).
     pub horizon: Option<u64>,
     /// Explore adversary branches on threads where the scenario supports
     /// it (the run set is identical either way).
     pub parallel: bool,
+    /// The resolved spec parameters (defaults filled in). Empty for
+    /// scenarios built outside the registry.
+    pub values: ParamValues,
 }
 
 impl ScenarioParams {
@@ -53,16 +79,56 @@ pub enum ScenarioFrame {
 
 /// A worked example constructible by name: the paper's scenarios (and
 /// user extensions) register behind this trait so the engine — and the
-/// experiment driver — can build any of them through one pipeline.
+/// experiment driver, and the `hm` CLI — can build any of them through
+/// one pipeline.
+///
+/// A scenario declares its parameters as [`ParamDescriptor`]s; the
+/// registry validates spec strings against them before `build` runs, so
+/// `build` can read [`ScenarioParams::values`] through the typed
+/// accessors without error handling.
 pub trait Scenario {
     /// Registry name (e.g. `"generals"`).
     fn name(&self) -> String;
 
+    /// One-line description with the paper reference, for catalogs
+    /// (`hm list`, `hm describe`).
+    fn summary(&self) -> String {
+        String::new()
+    }
+
+    /// The declared parameters. Spec strings may set exactly these keys.
+    fn params(&self) -> Vec<ParamDescriptor> {
+        Vec::new()
+    }
+
+    /// The E1–E18 experiments that exercise this frame (catalog
+    /// cross-reference, e.g. `"E3, E4, E8-E10"`).
+    fn experiments(&self) -> String {
+        String::new()
+    }
+
+    /// A formula that is meaningful on this frame under its default
+    /// parameters — shown by `hm describe` and used as the registry's
+    /// smoke query. The default is atom-free so it binds on any frame.
+    fn example_query(&self) -> String {
+        "nu X. $X".into()
+    }
+
     /// Constructs the frame under the engine's options.
+    ///
+    /// `params.values` carries an assignment for every key declared by
+    /// [`params`](Scenario::params): [`ScenarioRegistry::resolve`] and
+    /// the [`Engine`](crate::Engine) sources guarantee this. Callers
+    /// invoking `build` directly on a scenario that declares parameters
+    /// must fill `values` first (e.g. via
+    /// [`ParamValues::defaults`](crate::ParamValues::defaults));
+    /// `ScenarioParams::default()` is only adequate for parameterless
+    /// scenarios.
     ///
     /// # Errors
     ///
-    /// Typically [`EngineError::Enumerate`] from run enumeration.
+    /// Typically [`EngineError::Enumerate`] from run enumeration, or
+    /// [`EngineError::Spec`] for jointly inconsistent parameter values.
     fn build(&self, params: &ScenarioParams) -> Result<ScenarioFrame, EngineError>;
 }
 
@@ -82,19 +148,20 @@ impl ScenarioRegistry {
     /// The registry of built-in worked examples (see the module docs).
     pub fn builtin() -> Self {
         let mut reg = ScenarioRegistry::new();
-        for n in 2..=8 {
-            reg.register(Box::new(Muddy { n }));
-        }
+        reg.register(Box::new(Muddy));
         reg.register(Box::new(Generals));
+        reg.register(Box::new(GeneralsUnbounded));
         for mode in [R2d2Mode::Uncertain, R2d2Mode::Exact, R2d2Mode::Timestamped] {
-            reg.register(Box::new(R2d2Scenario {
-                eps: 2,
-                pre: 3,
-                post: 3,
-                mode,
-            }));
+            reg.register(Box::new(R2d2Family { mode }));
         }
+        reg.register(Box::new(UncertainStart));
         reg.register(Box::new(OkProtocol));
+        reg.register(Box::new(Skewed));
+        reg.register(Box::new(Agreement));
+        reg.register(Box::new(Deadlock));
+        reg.register(Box::new(Consistency));
+        reg.register(Box::new(Views));
+        reg.register(Box::new(Random));
         reg
     }
 
@@ -104,7 +171,7 @@ impl ScenarioRegistry {
         self.entries.push(scenario);
     }
 
-    /// Looks up a scenario by name (latest registration wins).
+    /// Looks up a scenario by plain name (latest registration wins).
     pub fn get(&self, name: &str) -> Option<&dyn Scenario> {
         self.entries
             .iter()
@@ -117,6 +184,58 @@ impl ScenarioRegistry {
     pub fn names(&self) -> Vec<String> {
         self.entries.iter().map(|s| s.name()).collect()
     }
+
+    /// The visible scenarios in registration order, shadowed entries
+    /// skipped (for catalogs).
+    pub fn iter(&self) -> impl Iterator<Item = &dyn Scenario> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(|(i, s)| {
+                !self.entries[i + 1..]
+                    .iter()
+                    .any(|later| later.name() == s.name())
+            })
+            .map(|(_, s)| s.as_ref())
+    }
+
+    /// Parses a spec string, looks the scenario up, and validates the
+    /// parameters against its descriptors — everything short of
+    /// building.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::Syntax`] for malformed specs,
+    /// [`SpecError::UnknownScenario`] (with a nearest-name suggestion)
+    /// for unregistered names, and the parameter variants for unknown
+    /// keys, duplicates, type errors, and out-of-range values.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use hm_engine::{ScenarioRegistry, SpecError};
+    /// let reg = ScenarioRegistry::builtin();
+    /// let (scenario, values) = reg.resolve("agreement:n=4,f=2")?;
+    /// assert_eq!(scenario.name(), "agreement");
+    /// assert_eq!(values.int("n"), 4);
+    /// assert_eq!(values.int("f"), 2);
+    /// // Misspellings come back with a suggestion:
+    /// let err = reg.resolve("agrement").err().unwrap();
+    /// assert!(err.to_string().contains("did you mean `agreement`?"));
+    /// # Ok::<(), SpecError>(())
+    /// ```
+    pub fn resolve(&self, spec: &str) -> Result<(&dyn Scenario, ParamValues), SpecError> {
+        let parsed = ScenarioSpec::parse(spec)?;
+        let scenario = self
+            .get(&parsed.name)
+            .ok_or_else(|| SpecError::UnknownScenario {
+                suggestion: nearest_name(&parsed.name, &self.names()),
+                known: self.names(),
+                name: parsed.name.clone(),
+            })?;
+        let values = ParamValues::resolve(&parsed.name, &scenario.params(), &parsed.params)?;
+        Ok((scenario, values))
+    }
 }
 
 impl Default for ScenarioRegistry {
@@ -125,25 +244,61 @@ impl Default for ScenarioRegistry {
     }
 }
 
-/// Section 2: the muddy-children cube with `n` children.
-struct Muddy {
-    n: usize,
-}
+/// Section 2: the muddy-children cube with `n` children; `dirty = k`
+/// applies the father's announcement plus `k - 1` unanimous-"no" rounds
+/// (the frame right before question `k`).
+struct Muddy;
 
 impl Scenario for Muddy {
     fn name(&self) -> String {
-        format!("muddy{}", self.n)
+        "muddy".into()
     }
 
-    fn build(&self, _params: &ScenarioParams) -> Result<ScenarioFrame, EngineError> {
-        Ok(ScenarioFrame::Model(
-            MuddyChildren::new(self.n).model().clone(),
-        ))
+    fn summary(&self) -> String {
+        "muddy-children cube, optionally announced (Section 2)".into()
+    }
+
+    fn params(&self) -> Vec<ParamDescriptor> {
+        vec![
+            ParamDescriptor::int("n", 4, 2, 12, "number of children (2^n worlds)"),
+            ParamDescriptor::int(
+                "dirty",
+                0,
+                0,
+                12,
+                "0 = pristine cube; k >= 1 = announcement + k-1 unanimous-no rounds",
+            ),
+        ]
+    }
+
+    fn experiments(&self) -> String {
+        "E1, E2, E17".into()
+    }
+
+    fn example_query(&self) -> String {
+        "K0 m".into()
+    }
+
+    fn build(&self, params: &ScenarioParams) -> Result<ScenarioFrame, EngineError> {
+        let n = params.values.size("n");
+        let dirty = params.values.size("dirty");
+        if dirty > n {
+            return Err(EngineError::Spec(SpecError::Constraint {
+                scenario: self.name(),
+                what: format!("dirty = {dirty} exceeds n = {n} children"),
+            }));
+        }
+        let puzzle = MuddyChildren::new(n);
+        Ok(ScenarioFrame::Model(if dirty == 0 {
+            puzzle.model().clone()
+        } else {
+            puzzle.announced_model(dirty - 1)
+        }))
     }
 }
 
-/// Section 4: the coordinated-attack handshake over the lossy messenger
-/// (default horizon 8).
+/// Sections 4 and 7: the coordinated-attack handshake over the lossy
+/// messenger.
 struct Generals;
 
 impl Scenario for Generals {
@@ -151,30 +306,81 @@ impl Scenario for Generals {
         "generals".into()
     }
 
+    fn summary(&self) -> String {
+        "coordinated-attack handshake over a lossy messenger (Sections 4, 7)".into()
+    }
+
+    fn params(&self) -> Vec<ParamDescriptor> {
+        vec![ParamDescriptor::int(
+            "horizon",
+            8,
+            1,
+            12,
+            "last tick of every run",
+        )]
+    }
+
+    fn experiments(&self) -> String {
+        "E3, E4, E8, E9, E10".into()
+    }
+
+    fn example_query(&self) -> String {
+        "K1 dispatched".into()
+    }
+
     fn build(&self, params: &ScenarioParams) -> Result<ScenarioFrame, EngineError> {
         Ok(ScenarioFrame::Interpreted(generals_builder(
-            params.horizon_or(8),
+            params.horizon_or(params.values.int("horizon")),
             params.parallel,
         )?))
     }
 }
 
-/// Section 8: the R2–D2 channel. Registered under `r2d2` (uncertain
-/// delay), `r2d2-exact` and `r2d2-timestamped`, all with `ε = 2` and 3
-/// slots of slack on each side of the focus send; build one directly for
-/// other parameters.
-pub struct R2d2Scenario {
-    /// Delay bound ε (ticks).
-    pub eps: u64,
-    /// ε-slots before the focus send.
-    pub pre: usize,
-    /// ε-slots after the focus send.
-    pub post: usize,
-    /// Channel variant.
-    pub mode: R2d2Mode,
+/// Section 7: the one-shot send under unbounded delivery delay
+/// (Theorem 7's NG1′ frame).
+struct GeneralsUnbounded;
+
+impl Scenario for GeneralsUnbounded {
+    fn name(&self) -> String {
+        "generals-unbounded".into()
+    }
+
+    fn summary(&self) -> String {
+        "one-shot send under unbounded delivery delay (Section 7, Theorem 7)".into()
+    }
+
+    fn params(&self) -> Vec<ParamDescriptor> {
+        vec![ParamDescriptor::int(
+            "horizon",
+            7,
+            1,
+            9,
+            "last tick of every run",
+        )]
+    }
+
+    fn experiments(&self) -> String {
+        "E5".into()
+    }
+
+    fn example_query(&self) -> String {
+        "K1 sent".into()
+    }
+
+    fn build(&self, params: &ScenarioParams) -> Result<ScenarioFrame, EngineError> {
+        Ok(ScenarioFrame::Interpreted(generals_unbounded_builder(
+            params.horizon_or(params.values.int("horizon")),
+        )?))
+    }
 }
 
-impl Scenario for R2d2Scenario {
+/// Section 8: the R2–D2 channel, one registry entry per variant
+/// (`r2d2` = uncertain delay, `r2d2-exact`, `r2d2-timestamped`).
+struct R2d2Family {
+    mode: R2d2Mode,
+}
+
+impl Scenario for R2d2Family {
     fn name(&self) -> String {
         match self.mode {
             R2d2Mode::Uncertain => "r2d2".into(),
@@ -183,14 +389,86 @@ impl Scenario for R2d2Scenario {
         }
     }
 
-    fn build(&self, _params: &ScenarioParams) -> Result<ScenarioFrame, EngineError> {
-        let (builder, _meta) = r2d2_parts(self.eps, self.pre, self.post, self.mode);
+    fn summary(&self) -> String {
+        match self.mode {
+            R2d2Mode::Uncertain => "R2–D2 channel, delivery in 0 or eps ticks (Section 8)".into(),
+            R2d2Mode::Exact => "R2–D2 channel, delivery in exactly eps ticks (Section 8)".into(),
+            R2d2Mode::Timestamped => {
+                "R2–D2 channel with global clock and timestamped message (Section 8)".into()
+            }
+        }
+    }
+
+    fn params(&self) -> Vec<ParamDescriptor> {
+        vec![
+            ParamDescriptor::int("eps", 2, 1, 6, "delay bound eps (ticks)"),
+            ParamDescriptor::int("pre", 3, 0, 8, "eps-slots before the focus send"),
+            ParamDescriptor::int("post", 3, 0, 8, "eps-slots after the focus send"),
+        ]
+    }
+
+    fn experiments(&self) -> String {
+        "E6".into()
+    }
+
+    fn example_query(&self) -> String {
+        "K0 K1 sent".into()
+    }
+
+    fn build(&self, params: &ScenarioParams) -> Result<ScenarioFrame, EngineError> {
+        let (builder, _meta) = r2d2_parts(
+            params.values.int("eps"),
+            params.values.size("pre"),
+            params.values.size("post"),
+            self.mode,
+        );
         Ok(ScenarioFrame::Interpreted(builder))
     }
 }
 
-/// Section 11: the OK protocol over the instant-or-lost channel (default
-/// horizon 6).
+/// Section 8 / Appendix B: uncertain start times (Proposition 15's
+/// temporal-imprecision frame), with a global-clock escape hatch.
+struct UncertainStart;
+
+impl Scenario for UncertainStart {
+    fn name(&self) -> String {
+        "uncertain-start".into()
+    }
+
+    fn summary(&self) -> String {
+        "uncertain wake times + uncertain delay (Section 8, App. B, Prop. 15)".into()
+    }
+
+    fn params(&self) -> Vec<ParamDescriptor> {
+        vec![
+            ParamDescriptor::int("horizon", 6, 1, 10, "last tick of every run"),
+            ParamDescriptor::boolean(
+                "global_clock",
+                false,
+                "shared perfect clock and fixed wake times instead",
+            ),
+        ]
+    }
+
+    fn experiments(&self) -> String {
+        "E7".into()
+    }
+
+    fn example_query(&self) -> String {
+        // Theorem 8: with temporal imprecision, CK of the dispatch is
+        // never attained — the negation is valid.
+        "!C{0,1} sent".into()
+    }
+
+    fn build(&self, params: &ScenarioParams) -> Result<ScenarioFrame, EngineError> {
+        Ok(ScenarioFrame::Interpreted(uncertain_start_builder(
+            params.horizon_or(params.values.int("horizon")),
+            params.values.flag("global_clock"),
+        )?))
+    }
+}
+
+/// Section 11: the OK protocol over the instant-or-lost channel.
 struct OkProtocol;
 
 impl Scenario for OkProtocol {
@@ -198,10 +476,266 @@ impl Scenario for OkProtocol {
         "ok".into()
     }
 
+    fn summary(&self) -> String {
+        "OK protocol over an instant-or-lost channel (Section 11)".into()
+    }
+
+    fn params(&self) -> Vec<ParamDescriptor> {
+        vec![ParamDescriptor::int(
+            "horizon",
+            6,
+            1,
+            10,
+            "last tick of every run",
+        )]
+    }
+
+    fn experiments(&self) -> String {
+        "E9".into()
+    }
+
+    fn example_query(&self) -> String {
+        "Ceps[1]{0,1} psi".into()
+    }
+
     fn build(&self, params: &ScenarioParams) -> Result<ScenarioFrame, EngineError> {
         Ok(ScenarioFrame::Interpreted(ok_builder(
-            params.horizon_or(6),
+            params.horizon_or(params.values.int("horizon")),
         )?))
+    }
+}
+
+/// Section 12: the two-processor broadcast with skewed clocks
+/// (Theorem 12's `C^T` frame).
+struct Skewed;
+
+impl Scenario for Skewed {
+    fn name(&self) -> String {
+        "skewed".into()
+    }
+
+    fn summary(&self) -> String {
+        "two-processor broadcast with skewed clocks (Section 12, Theorem 12)".into()
+    }
+
+    fn params(&self) -> Vec<ParamDescriptor> {
+        vec![
+            ParamDescriptor::int("horizon", 8, 1, 16, "last tick of every run"),
+            ParamDescriptor::int(
+                "skew",
+                1,
+                0,
+                4,
+                "p1's clock runs d ticks ahead, one run per d in 0..=skew",
+            ),
+        ]
+    }
+
+    fn experiments(&self) -> String {
+        "E12".into()
+    }
+
+    fn example_query(&self) -> String {
+        "CT[6]{0,1} sent_v".into()
+    }
+
+    fn build(&self, params: &ScenarioParams) -> Result<ScenarioFrame, EngineError> {
+        Ok(ScenarioFrame::Interpreted(skewed_broadcast_builder(
+            params.horizon_or(params.values.int("horizon")),
+            params.values.int("skew"),
+        )?))
+    }
+}
+
+/// Section 11 footnote 5 (after [DM90]): simultaneous agreement under
+/// at most `f` crash failures, full crash-pattern enumeration.
+struct Agreement;
+
+impl Scenario for Agreement {
+    fn name(&self) -> String {
+        "agreement".into()
+    }
+
+    fn summary(&self) -> String {
+        "simultaneous agreement under crash failures (Section 11 fn. 5, [DM90])".into()
+    }
+
+    fn params(&self) -> Vec<ParamDescriptor> {
+        vec![
+            ParamDescriptor::int("n", 3, 3, 4, "number of processors"),
+            ParamDescriptor::int(
+                "f",
+                1,
+                1,
+                2,
+                "maximum crashes (n=4,f=2 enumerates ~57k runs — expect seconds)",
+            ),
+        ]
+    }
+
+    fn experiments(&self) -> String {
+        "E18".into()
+    }
+
+    fn example_query(&self) -> String {
+        "C{0,1,2} min0".into()
+    }
+
+    fn build(&self, params: &ScenarioParams) -> Result<ScenarioFrame, EngineError> {
+        Ok(ScenarioFrame::Interpreted(agreement_builder(
+            AgreementSpec {
+                n: params.values.size("n"),
+                f: params.values.size("f"),
+            },
+        )))
+    }
+}
+
+/// Section 3: probe-based deadlock discovery and publication over all
+/// wait-for graphs.
+struct Deadlock;
+
+impl Scenario for Deadlock {
+    fn name(&self) -> String {
+        "deadlock".into()
+    }
+
+    fn summary(&self) -> String {
+        "probe-based deadlock discovery over all wait-for graphs (Section 3)".into()
+    }
+
+    fn params(&self) -> Vec<ParamDescriptor> {
+        vec![
+            ParamDescriptor::int("n", 3, 2, 4, "number of processes"),
+            ParamDescriptor::int("horizon", 12, 1, 20, "last tick of every run"),
+        ]
+    }
+
+    fn experiments(&self) -> String {
+        "E15".into()
+    }
+
+    fn example_query(&self) -> String {
+        "K0 deadlock".into()
+    }
+
+    fn build(&self, params: &ScenarioParams) -> Result<ScenarioFrame, EngineError> {
+        Ok(ScenarioFrame::Interpreted(deadlock_builder(
+            params.values.size("n"),
+            params.horizon_or(params.values.int("horizon")),
+        )?))
+    }
+}
+
+/// Section 13: the tightly-synchronised send/receive frame of the
+/// internal-knowledge-consistency example.
+struct Consistency;
+
+impl Scenario for Consistency {
+    fn name(&self) -> String {
+        "consistency".into()
+    }
+
+    fn summary(&self) -> String {
+        "fast/slow delivery pairs of the IKC example (Section 13)".into()
+    }
+
+    fn experiments(&self) -> String {
+        "E14".into()
+    }
+
+    fn example_query(&self) -> String {
+        "K0 both_aware".into()
+    }
+
+    fn build(&self, _params: &ScenarioParams) -> Result<ScenarioFrame, EngineError> {
+        Ok(ScenarioFrame::Interpreted(consistency_builder()))
+    }
+}
+
+/// Section 6: the two-run send frame under a selectable view function
+/// (complete history ⊇ last event ⊇ shared λ).
+struct Views;
+
+impl Scenario for Views {
+    fn name(&self) -> String {
+        "views".into()
+    }
+
+    fn summary(&self) -> String {
+        "two-run send frame under a selectable view function (Section 6)".into()
+    }
+
+    fn params(&self) -> Vec<ParamDescriptor> {
+        vec![ParamDescriptor::choice(
+            "view",
+            "complete",
+            &["complete", "last-event", "lambda"],
+            "the view function interpreting the runs",
+        )]
+    }
+
+    fn experiments(&self) -> String {
+        "E16".into()
+    }
+
+    fn example_query(&self) -> String {
+        "K0 sent_twice".into()
+    }
+
+    fn build(&self, params: &ScenarioParams) -> Result<ScenarioFrame, EngineError> {
+        let kind = match params.values.choice("view") {
+            "complete" => ViewKind::CompleteHistory,
+            "last-event" => ViewKind::LastEvent,
+            "lambda" => ViewKind::SharedLambda,
+            other => unreachable!("descriptor admits only declared views, got {other}"),
+        };
+        Ok(ScenarioFrame::Interpreted(two_send_views_builder(kind)))
+    }
+}
+
+/// Appendix A: a seeded pseudo-random S5 model (the frame family behind
+/// the E11/E13 axiom sweeps).
+struct Random;
+
+impl Scenario for Random {
+    fn name(&self) -> String {
+        "random".into()
+    }
+
+    fn summary(&self) -> String {
+        "seeded pseudo-random S5 model (Appendix A axiom sweeps)".into()
+    }
+
+    fn params(&self) -> Vec<ParamDescriptor> {
+        vec![
+            ParamDescriptor::int("seed", 0, 0, u64::MAX, "SplitMix64 seed"),
+            ParamDescriptor::int("worlds", 12, 1, 4096, "number of worlds"),
+            ParamDescriptor::int("agents", 3, 1, 8, "number of agents"),
+            ParamDescriptor::int("atoms", 2, 0, 8, "ground atoms q0, q1, ..."),
+            ParamDescriptor::int("blocks", 4, 1, 64, "max partition blocks per agent"),
+        ]
+    }
+
+    fn experiments(&self) -> String {
+        "E11, E13".into()
+    }
+
+    fn example_query(&self) -> String {
+        "D{0,1,2} q0".into()
+    }
+
+    fn build(&self, params: &ScenarioParams) -> Result<ScenarioFrame, EngineError> {
+        let v = &params.values;
+        Ok(ScenarioFrame::Model(random_model(
+            v.int("seed"),
+            RandomModelSpec {
+                num_agents: v.size("agents"),
+                num_worlds: v.size("worlds"),
+                num_atoms: v.size("atoms"),
+                max_blocks: v.size("blocks"),
+            },
+        )))
     }
 }
 
@@ -212,11 +746,93 @@ mod tests {
     #[test]
     fn builtin_names() {
         let reg = ScenarioRegistry::builtin();
-        for name in ["muddy4", "generals", "r2d2", "r2d2-exact", "ok"] {
+        for name in [
+            "muddy",
+            "generals",
+            "generals-unbounded",
+            "r2d2",
+            "r2d2-exact",
+            "r2d2-timestamped",
+            "uncertain-start",
+            "ok",
+            "skewed",
+            "agreement",
+            "deadlock",
+            "consistency",
+            "views",
+            "random",
+        ] {
             assert!(reg.get(name).is_some(), "{name} registered");
         }
         assert!(reg.get("nope").is_none());
-        assert!(reg.names().contains(&"r2d2-timestamped".to_string()));
+        assert_eq!(reg.iter().count(), reg.names().len());
+    }
+
+    #[test]
+    fn resolve_validates_against_descriptors() {
+        let reg = ScenarioRegistry::builtin();
+        let (s, v) = reg.resolve("muddy:n=6,dirty=3").unwrap();
+        assert_eq!(s.name(), "muddy");
+        assert_eq!(v.int("n"), 6);
+        assert_eq!(v.int("dirty"), 3);
+        // Defaults fill in.
+        let (_, v) = reg.resolve("muddy").unwrap();
+        assert_eq!(v.int("n"), 4);
+        assert_eq!(v.int("dirty"), 0);
+        // Unknown scenario with suggestion.
+        match reg.resolve("agrement").err().unwrap() {
+            SpecError::UnknownScenario { suggestion, .. } => {
+                assert_eq!(suggestion.as_deref(), Some("agreement"));
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+        // Unknown key lists the declared ones.
+        match reg.resolve("generals:depth=3").err().unwrap() {
+            SpecError::UnknownParam { known, .. } => assert_eq!(known, vec!["horizon"]),
+            other => panic!("wrong variant: {other:?}"),
+        }
+        // Range check.
+        assert!(matches!(
+            reg.resolve("agreement:f=3").err().unwrap(),
+            SpecError::OutOfRange { .. }
+        ));
+    }
+
+    #[test]
+    fn muddy_dirty_constraint() {
+        let reg = ScenarioRegistry::builtin();
+        let (s, values) = reg.resolve("muddy:n=3,dirty=5").unwrap();
+        let params = ScenarioParams {
+            values,
+            ..ScenarioParams::default()
+        };
+        assert!(matches!(
+            s.build(&params).err().unwrap(),
+            EngineError::Spec(SpecError::Constraint { .. })
+        ));
+    }
+
+    #[test]
+    fn muddy_dirty_shrinks_the_cube() {
+        let reg = ScenarioRegistry::builtin();
+        let build = |spec: &str| {
+            let (s, values) = reg.resolve(spec).unwrap();
+            let params = ScenarioParams {
+                values,
+                ..ScenarioParams::default()
+            };
+            match s.build(&params).unwrap() {
+                ScenarioFrame::Model(m) => m,
+                ScenarioFrame::Interpreted(_) => panic!("muddy is a model frame"),
+            }
+        };
+        assert_eq!(build("muddy:n=4").num_worlds(), 16);
+        // Announcement drops the all-clean world.
+        assert_eq!(build("muddy:n=4,dirty=1").num_worlds(), 15);
+        // One unanimous "no" also drops the four 1-muddy worlds.
+        assert_eq!(build("muddy:n=4,dirty=2").num_worlds(), 11);
+        // Before question n, only the all-muddy world is left.
+        assert_eq!(build("muddy:n=4,dirty=4").num_worlds(), 1);
     }
 
     #[test]
@@ -238,5 +854,12 @@ mod tests {
             .build(&ScenarioParams::default())
             .unwrap();
         assert!(matches!(frame, ScenarioFrame::Model(_)));
+        // The shadow declares no params, so horizon is now rejected.
+        assert!(matches!(
+            reg.resolve("generals:horizon=8").err().unwrap(),
+            SpecError::UnknownParam { .. }
+        ));
+        // iter() skips the shadowed entry.
+        assert_eq!(reg.iter().count(), reg.names().len() - 1);
     }
 }

@@ -220,6 +220,11 @@ struct Enumerator<'a> {
     adversary: &'a dyn Adversary,
     spec: &'a ExecutionSpec,
     max_runs: usize,
+    /// Shared run counter for parallel enumeration: when present, the
+    /// limit is checked against the *total* across all workers (so a
+    /// blow-up stops every worker promptly), not this enumerator's own
+    /// run list.
+    produced: Option<&'a std::sync::atomic::AtomicUsize>,
     runs: Vec<Run>,
     /// Reused buffer for each step's `LocalView::events`.
     seen: Vec<SeenEvent>,
@@ -370,8 +375,20 @@ impl Enumerator<'_> {
             }
         }
         self.materialise(sim);
-        if self.runs.len() > self.max_runs {
-            return Err(EnumerateError::RunLimit(self.max_runs));
+        match self.produced {
+            // fetch_add returns the previous total, so `>= max` means
+            // this run pushed the total over the limit — or another
+            // worker already did.
+            Some(counter) => {
+                if counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed) >= self.max_runs {
+                    return Err(EnumerateError::RunLimit(self.max_runs));
+                }
+            }
+            None => {
+                if self.runs.len() > self.max_runs {
+                    return Err(EnumerateError::RunLimit(self.max_runs));
+                }
+            }
         }
         Ok(Vec::new())
     }
@@ -451,6 +468,7 @@ pub fn enumerate_runs(
         adversary,
         spec,
         max_runs,
+        produced: None,
         runs: Vec::new(),
         seen: Vec::new(),
         due: Vec::new(),
@@ -491,8 +509,10 @@ struct Task {
 /// # Errors
 ///
 /// Returns [`EnumerateError::RunLimit`] if more than `max_runs` runs
-/// would be produced (workers check their own counts, so the error may
-/// surface before every branch finishes).
+/// would be produced. The limit is enforced through one counter shared
+/// by all workers, so on a blow-up every worker sees the overshoot at
+/// its next materialised run and the whole enumeration stops promptly —
+/// no worker keeps exploring its subtree to a private limit.
 pub fn enumerate_runs_parallel(
     protocol: &(dyn JointProtocol + Sync),
     adversary: &(dyn Adversary + Sync),
@@ -503,11 +523,13 @@ pub fn enumerate_runs_parallel(
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1);
     let target_tasks = threads * 4;
+    let produced = std::sync::atomic::AtomicUsize::new(0);
     let mut splitter = Enumerator {
         protocol,
         adversary,
         spec,
         max_runs,
+        produced: Some(&produced),
         runs: Vec::new(),
         seen: Vec::new(),
         due: Vec::new(),
@@ -551,12 +573,14 @@ pub fn enumerate_runs_parallel(
         let handles: Vec<_> = chunks
             .into_iter()
             .map(|chunk| {
+                let produced = &produced;
                 scope.spawn(move || {
                     let mut worker = Enumerator {
                         protocol,
                         adversary,
                         spec,
                         max_runs,
+                        produced: Some(produced),
                         runs: Vec::new(),
                         seen: Vec::new(),
                         due: Vec::new(),

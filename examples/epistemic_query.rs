@@ -1,14 +1,18 @@
 //! Ad-hoc epistemic queries against the built-in scenarios, through the
 //! `hm-engine` pipeline.
 //!
+//! The `hm` CLI (`cargo run -p hm-bench --bin hm -- help`) is the
+//! full-featured version of this; the example shows the API surface in
+//! a few lines.
+//!
 //! Usage:
 //! ```text
-//! cargo run --example epistemic_query -- <scenario> "<formula>"
+//! cargo run --example epistemic_query -- <spec> "<formula>"
 //! ```
-//! Scenarios: any name in the engine's built-in registry — `muddy4`
-//! (4 muddy children, and `muddy2`…`muddy8`), `generals` (handshake,
-//! horizon 8), `r2d2` (uncertain channel, ε = 2), `r2d2-exact`,
-//! `r2d2-timestamped`, `ok`.
+//! `<spec>` is a scenario spec string, `name:key=value,...` — any name
+//! in the engine's built-in registry, e.g. `muddy` (`muddy:n=6,dirty=3`
+//! configures it), `generals`, `r2d2:eps=3`, `uncertain-start`,
+//! `agreement:n=3,f=1`, `ok`. See `SCENARIOS.md` for the catalog.
 //!
 //! Formula syntax (see `hm-logic`): atoms, `! & | -> <->`,
 //! `K0 K1 … E{0,1} E^2{0,1} S{..} D{..} C{..}`,
@@ -17,29 +21,31 @@
 //!
 //! Examples:
 //! ```text
-//! cargo run --example epistemic_query -- muddy4 "E{0,1,2,3} m & !E^2{0,1,2,3} m"
+//! cargo run --example epistemic_query -- muddy:n=4 "E{0,1,2,3} m & !E^2{0,1,2,3} m"
 //! cargo run --example epistemic_query -- generals "K1 dispatched & !K0 K1 dispatched"
-//! cargo run --example epistemic_query -- r2d2 "Ceps[2]{0,1} sent"
+//! cargo run --example epistemic_query -- r2d2:eps=2 "Ceps[2]{0,1} sent"
+//! cargo run --example epistemic_query -- agreement:n=3,f=1 "C{0,1,2} min0"
 //! ```
 
-use halpern_moses::engine::{Engine, EngineError, Query, ScenarioRegistry};
+use halpern_moses::engine::{Engine, EngineError, Query};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut args = std::env::args().skip(1);
-    let scenario = args.next().unwrap_or_else(|| "muddy4".into());
+    let spec = args.next().unwrap_or_else(|| "muddy:n=4".into());
     let src = args
         .next()
         .unwrap_or_else(|| "E{0,1,2,3} m & !E^2{0,1,2,3} m".into());
     let query = Query::parse(&src)?;
-    println!("scenario: {scenario}");
+    println!("scenario: {spec}");
     println!("formula:  {query}");
 
-    // One pipeline for every scenario: name → Engine → Session → Verdict.
-    let mut session = match Engine::for_scenario(&scenario).build() {
+    // One pipeline for every scenario: spec → Engine → Session → Verdict.
+    let mut session = match Engine::for_scenario(&spec).build() {
         Ok(s) => s,
-        Err(EngineError::UnknownScenario(name)) => {
-            let names = ScenarioRegistry::builtin().names().join(" | ");
-            eprintln!("unknown scenario `{name}` (use {names})");
+        Err(EngineError::Spec(e)) => {
+            // Spec errors are self-describing: unknown scenario (with a
+            // nearest-name suggestion), unknown key, out-of-range value.
+            eprintln!("{e}");
             std::process::exit(2);
         }
         Err(e) => return Err(e.into()),

@@ -124,7 +124,7 @@ fn minimize_never_changes_attain_and_agreement_verdicts() {
 fn minimize_never_changes_muddy_verdicts() {
     // Model-sourced session: the quotient is computed post hoc.
     assert_minimize_invariant(
-        || Engine::for_scenario("muddy4"),
+        || Engine::for_scenario("muddy:n=4"),
         &[
             "m",
             "muddy0",

@@ -1,0 +1,186 @@
+//! Round-trip and error-path tests of the scenario registry and the
+//! spec grammar: every registered scenario parses, builds, and answers
+//! a smoke query; random in-range specs resolve to the values they
+//! name; malformed specs fail with the intended `SpecError` variant.
+
+use halpern_moses::engine::{Engine, ParamKind, Query, ScenarioRegistry, ScenarioSpec, SpecError};
+use proptest::prelude::*;
+
+/// Every registered name (under default parameters) parses, builds
+/// through the engine, and answers its own example query — the whole
+/// catalog is live, not just the entries the experiments happen to use.
+#[test]
+fn every_registered_scenario_builds_and_answers() {
+    let reg = ScenarioRegistry::builtin();
+    let names = reg.names();
+    assert!(names.len() >= 14, "the catalog covers every frame family");
+    for name in &names {
+        let scenario = reg.get(name).unwrap();
+        let query = Query::parse(&scenario.example_query())
+            .unwrap_or_else(|e| panic!("{name}: example query: {e}"));
+        let mut session = Engine::for_scenario(name)
+            .build()
+            .unwrap_or_else(|e| panic!("{name}: build: {e}"));
+        let verdict = session
+            .ask(&query)
+            .unwrap_or_else(|e| panic!("{name}: ask: {e}"));
+        assert!(
+            verdict.count() <= session.num_worlds(),
+            "{name}: verdict inside the universe"
+        );
+    }
+}
+
+/// The example queries are not vacuous: each one actually holds
+/// somewhere on its frame (so `hm describe`'s suggestion demonstrates
+/// something).
+#[test]
+fn example_queries_hold_somewhere() {
+    let reg = ScenarioRegistry::builtin();
+    for name in reg.names() {
+        let scenario = reg.get(&name).unwrap();
+        let query = Query::parse(&scenario.example_query()).unwrap();
+        let mut session = Engine::for_scenario(&name).build().unwrap();
+        assert!(
+            !session.ask(&query).unwrap().is_empty(),
+            "{name}: `{}` holds nowhere",
+            scenario.example_query()
+        );
+    }
+}
+
+/// Formats a value inside the descriptor's range, biased to its edges.
+fn pick_in_range(kind: &ParamKind, roll: u64) -> String {
+    match kind {
+        ParamKind::Int { min, max } => {
+            // Clamp huge ranges (e.g. seeds) to something small.
+            let hi = (*max).min(min.saturating_add(1_000_000));
+            let v = match roll % 4 {
+                0 => *min,
+                1 => hi,
+                _ => min + roll % (hi - min + 1),
+            };
+            v.to_string()
+        }
+        ParamKind::Bool => roll.is_multiple_of(2).to_string(),
+        ParamKind::Choice(options) => options[roll as usize % options.len()].to_string(),
+    }
+}
+
+/// A cheap per-index roll derived from the strategy-drawn seed.
+fn roll(seed: u64, i: usize) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z ^ (z >> 31)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any spec assembled from declared keys and in-range values
+    /// resolves, and resolution reports exactly the values written.
+    #[test]
+    fn in_range_specs_resolve_to_their_values(pick in 0usize..64, seed in 0u64..1_000_000) {
+        let reg = ScenarioRegistry::builtin();
+        let names = reg.names();
+        let name: String = names[pick % names.len()].clone();
+        let scenario = reg.get(&name).unwrap();
+        let params = scenario.params();
+        let mut spec: String = name.clone();
+        let mut expected: Vec<(&'static str, String)> = Vec::new();
+        for (i, d) in params.iter().enumerate() {
+            // Skip roughly a third of the keys so defaults get
+            // exercised too.
+            if roll(seed, i).is_multiple_of(3) {
+                continue;
+            }
+            let value = pick_in_range(&d.kind, roll(seed, i + 101));
+            spec.push(if expected.is_empty() { ':' } else { ',' });
+            spec.push_str(d.key);
+            spec.push('=');
+            spec.push_str(&value);
+            expected.push((d.key, value));
+        }
+        // A bare name (no params picked) must also resolve.
+        let (resolved, values) = reg.resolve(&spec).unwrap_or_else(|e| panic!("{spec}: {e}"));
+        prop_assert_eq!(resolved.name(), name);
+        for (key, value) in expected {
+            prop_assert_eq!(values.get(key).unwrap().to_string(), value, "{}", spec);
+        }
+        // The syntactic parse round-trips through Display.
+        let parsed = ScenarioSpec::parse(&spec).unwrap();
+        prop_assert_eq!(parsed.to_string(), spec);
+    }
+}
+
+/// Malformed and invalid specs fail with the intended variant, and the
+/// message names the offending part.
+#[test]
+fn bad_specs_produce_the_intended_errors() {
+    let reg = ScenarioRegistry::builtin();
+    let err = |spec: &str| {
+        reg.resolve(spec)
+            .err()
+            .unwrap_or_else(|| panic!("{spec} resolved"))
+    };
+
+    assert!(matches!(err("muddy:"), SpecError::Syntax { .. }));
+    assert!(matches!(err("muddy:n"), SpecError::Syntax { .. }));
+    assert!(matches!(err(""), SpecError::Syntax { .. }));
+
+    match err("generls") {
+        SpecError::UnknownScenario { suggestion, .. } => {
+            assert_eq!(suggestion.as_deref(), Some("generals"));
+        }
+        other => panic!("wrong variant: {other}"),
+    }
+    match err("zzz") {
+        SpecError::UnknownScenario {
+            suggestion, known, ..
+        } => {
+            assert_eq!(suggestion, None, "no plausible typo target");
+            assert!(known.contains(&"generals".to_string()));
+        }
+        other => panic!("wrong variant: {other}"),
+    }
+
+    assert!(matches!(
+        err("muddy:kids=4"),
+        SpecError::UnknownParam { .. }
+    ));
+    assert!(matches!(
+        err("muddy:n=4,n=5"),
+        SpecError::DuplicateParam { .. }
+    ));
+    assert!(matches!(
+        err("muddy:n=four"),
+        SpecError::InvalidValue { .. }
+    ));
+    assert!(matches!(err("muddy:n=99"), SpecError::OutOfRange { .. }));
+    assert!(matches!(
+        err("uncertain-start:global_clock=yes"),
+        SpecError::InvalidValue { .. }
+    ));
+    assert!(matches!(
+        err("views:view=forgetful"),
+        SpecError::InvalidValue { .. }
+    ));
+
+    // Messages carry the pieces a user needs.
+    let msg = err("agreement:f=9").to_string();
+    assert!(
+        msg.contains('f') && msg.contains('9') && msg.contains("1..=2"),
+        "{msg}"
+    );
+}
+
+/// Cross-parameter constraints surface at build time as spec errors.
+#[test]
+fn joint_constraints_fail_at_build() {
+    let err = Engine::for_scenario("muddy:n=3,dirty=4")
+        .build()
+        .err()
+        .unwrap();
+    let msg = err.to_string();
+    assert!(msg.contains("dirty") && msg.contains("exceeds"), "{msg}");
+}
