@@ -6,7 +6,12 @@ set -eux
 export CARGO_NET_OFFLINE=true
 
 cargo fmt --all --check
-cargo clippy --workspace --all-targets -- -D warnings
+# Pedantic-subset hardening on top of the default lint set: the tree is
+# clean under these, so keep them at -D warnings.
+cargo clippy --workspace --all-targets -- \
+    -W clippy::needless_pass_by_value \
+    -W clippy::redundant_clone \
+    -D warnings
 
 # Docs must build warning-clean (broken intra-doc links, missing docs).
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
@@ -27,6 +32,10 @@ cargo test -q --doc
 # answers end to end.
 cargo run --release -q -p hm-bench --bin hm -- list > /dev/null
 cargo run --release -q -p hm-bench --bin hm -- ask "agreement:n=3,f=1" "C{0,1,2} min0" --show 0
+
+# Lint smoke: every registered scenario's example query must analyze
+# clean against its declared surface (exit 1 on any diagnostic).
+cargo run --release -q -p hm-bench --bin hm -- check --catalog
 
 # Bench smoke: every benchmark runs once (1 sample x 1 iter, no summary
 # file written), so bench code cannot bit-rot without failing CI.

@@ -4,6 +4,7 @@
 //! ```text
 //! hm list                               catalog of registered scenarios
 //! hm describe <name>                    parameters, ranges, example
+//! hm check [opts] <spec> <formula>      lint a query without building
 //! hm ask [opts] <spec> <formula>        build the frame, print the verdict
 //! hm exp [E1 E2 …]                      run the E1–E18 experiment driver
 //! hm help
@@ -18,6 +19,13 @@
 //! --show N       list at most N satisfying points (default 10; 0 = none)
 //! ```
 //!
+//! `check` lints a formula against the scenario's declared *surface*
+//! (vocabulary, agent count, temporal capability, horizon) without
+//! enumerating a single run; options: `--json` (machine-readable
+//! report), `--explain` (inferred-facts table), `--minimize`
+//! (quotient-safety warnings), `--horizon N`, and `--catalog` (lint
+//! every registered scenario's example query).
+//!
 //! Examples:
 //!
 //! ```text
@@ -25,11 +33,14 @@
 //! hm ask agreement:n=3,f=1 "C{0,1,2} min0"
 //! hm ask muddy:n=6,dirty=3 "K0 muddy0"
 //! hm ask r2d2:eps=3 "Ceps[3]{0,1} sent"
+//! hm check generals "C{0,1} dispatchd"       # typo caught pre-build
+//! hm check --json agreement:n=4,f=2 "C{0,1,2,3} min0"
 //! ```
 //!
-//! Exit codes: 0 = success, 1 = evaluation error, 2 = usage/spec error.
+//! Exit codes: 0 = success, 1 = evaluation error (`ask`) or any
+//! diagnostic (`check`), 2 = usage/spec/parse error.
 
-use hm_engine::{Engine, EngineError, Query, Scenario, ScenarioRegistry};
+use hm_engine::{check_spec, Engine, EngineError, Query, Scenario, ScenarioRegistry};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -40,6 +51,7 @@ fn main() {
         }
         Some("list") => list(),
         Some("describe") => describe(&args[1..]),
+        Some("check") => check(&args[1..]),
         Some("ask") => ask(&args[1..]),
         Some("exp") => {
             hm_bench::experiments::run(&args[1..]);
@@ -59,6 +71,7 @@ hm — epistemic queries against the Halpern-Moses scenario registry
 usage:
   hm list                          catalog of registered scenarios
   hm describe <name>               parameters, ranges, example invocation
+  hm check [opts] <spec> <formula> lint a query without building the frame
   hm ask [opts] <spec> <formula>   build the frame, print the verdict
   hm exp [E1 E2 ...]               run the E1-E18 experiment driver
   hm help                          this text
@@ -68,6 +81,17 @@ ask options:
   --minimize     answer quotient-safe queries on the bisimulation quotient
   --parallel     enumerate adversary branches on threads
   --show N       list at most N satisfying points (default 10; 0 = none)
+
+check options:
+  --json         print the full report as one JSON object
+  --explain      print the inferred-facts table (depths, footprint,
+                 quotient safety, instruction counts)
+  --minimize     warn about operators unsafe on the bisimulation quotient
+  --horizon N    check temporal depth against this horizon
+  --catalog      lint every registered scenario's example query instead
+
+exit codes: 0 = clean, 1 = diagnostics reported (check) or evaluation
+error (ask), 2 = usage/spec/parse error
 
 a <spec> is name:key=value,... e.g. generals, agreement:n=3,f=1,
 muddy:n=6,dirty=3, r2d2:eps=3 — see `hm list` and SCENARIOS.md.
@@ -123,6 +147,126 @@ fn print_description(s: &dyn Scenario) {
         }
     }
     println!("  example: hm ask {} \"{}\"", s.name(), s.example_query());
+}
+
+fn check(args: &[String]) -> i32 {
+    let mut horizon: Option<u64> = None;
+    let mut minimize = false;
+    let mut json = false;
+    let mut explain = false;
+    let mut catalog = false;
+    let mut positional: Vec<&String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--horizon" => {
+                let Some(value) = it.next().and_then(|v| v.parse::<u64>().ok()) else {
+                    eprintln!("--horizon needs an integer argument");
+                    return 2;
+                };
+                horizon = Some(value);
+            }
+            "--minimize" => minimize = true,
+            "--json" => json = true,
+            "--explain" => explain = true,
+            "--catalog" => catalog = true,
+            other if other.starts_with("--") => {
+                eprintln!("unknown option `{other}` (try `hm help`)");
+                return 2;
+            }
+            _ => positional.push(arg),
+        }
+    }
+    if catalog {
+        if !positional.is_empty() {
+            eprintln!("--catalog takes no <spec>/<formula> arguments");
+            return 2;
+        }
+        return check_catalog(horizon, minimize);
+    }
+    let [spec, formula] = positional[..] else {
+        eprintln!("usage: hm check [opts] <spec> <formula>");
+        return 2;
+    };
+    let report = match check_spec(spec, formula, horizon, minimize) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        for d in report.errors().iter().chain(report.warnings().iter()) {
+            println!("{d}");
+        }
+        if report.is_clean() {
+            println!("ok: no diagnostics for `{formula}` on `{spec}`");
+        }
+        if explain {
+            print_facts(&report);
+        }
+    }
+    i32::from(!report.is_clean())
+}
+
+fn print_facts(report: &hm_engine::Diagnostics) {
+    let f = report.facts();
+    println!("facts:");
+    println!("  nodes                 {}", f.nodes);
+    println!("  modal depth           {}", f.modal_depth);
+    println!("  temporal depth        {}", f.temporal_depth);
+    let agents: Vec<String> = f.agents.iter().map(ToString::to_string).collect();
+    println!("  agents                {{{}}}", agents.join(", "));
+    println!(
+        "  atoms                 {}",
+        if f.atoms.is_empty() {
+            "(none)".to_string()
+        } else {
+            f.atoms.join(", ")
+        }
+    );
+    let safety = if f.quotient_safe {
+        "yes".to_string()
+    } else {
+        match &f.quotient_unsafe {
+            Some((path, op)) if path.is_empty() => format!("no (`{op}` at the root)"),
+            Some((path, op)) => format!("no (`{op}` at {path})"),
+            None => "no".to_string(),
+        }
+    };
+    println!("  quotient-safe         {safety}");
+    if let Some(n) = f.instructions {
+        println!("  instructions          {n}");
+    }
+    if let Some(n) = f.instructions_simplified {
+        println!("  after simplification  {n}  (as: {})", f.simplified);
+    }
+}
+
+fn check_catalog(horizon: Option<u64>, minimize: bool) -> i32 {
+    let reg = ScenarioRegistry::builtin();
+    let mut dirty = 0;
+    for s in reg.iter() {
+        let name = s.name();
+        let q = s.example_query();
+        match check_spec(&name, &q, horizon, minimize) {
+            Ok(r) if r.is_clean() => println!("ok    {name:<22}\"{q}\""),
+            Ok(r) => {
+                dirty += 1;
+                println!("DIRTY {name:<22}\"{q}\"");
+                for d in r.errors().iter().chain(r.warnings().iter()) {
+                    println!("      {d}");
+                }
+            }
+            Err(e) => {
+                dirty += 1;
+                println!("DIRTY {name:<22}\"{q}\": {e}");
+            }
+        }
+    }
+    i32::from(dirty > 0)
 }
 
 fn ask(args: &[String]) -> i32 {

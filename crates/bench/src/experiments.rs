@@ -28,9 +28,11 @@ use hm_core::consistency::{
 use hm_core::discovery::{discovery_trajectory, has_deadlock, publication_stamp};
 use hm_core::hierarchy::hierarchy;
 use hm_core::kbp::{knows_own_state_rule, KnowledgeProtocol, Turns};
-use hm_core::puzzles::attack::{classify_attack_rule, ladder_depth_at_end, AttackRuleOutcome};
+use hm_core::puzzles::attack::{
+    classify_attack_rule, ladder_depth_at_end_cached, AttackRuleOutcome,
+};
 use hm_core::puzzles::muddy::MuddyChildren;
-use hm_core::puzzles::r2d2::{ck_sent, first_time, ladder_onsets, r2d2_parts};
+use hm_core::puzzles::r2d2::{ck_sent_cached, first_time_cached, ladder_onsets_cached, r2d2_parts};
 use hm_core::variants::{
     check_theorem12a, check_theorem12b, check_theorem12c, check_theorem9, check_variant_hierarchy,
     conjunction_gap,
@@ -40,7 +42,7 @@ use hm_kripke::{AgentGroup, AgentId, WorldSet};
 use hm_logic::axioms::{
     check_fixed_point_axiom, check_induction_rule, check_lemma2, check_s5, sample_sets, ModalOp,
 };
-use hm_logic::{Formula, Frame, F};
+use hm_logic::{EvalCache, Formula, Frame, F};
 use hm_netsim::scenarios::{ok_psi, R2d2Mode};
 use hm_runs::{conditions, InterpretedSystem};
 
@@ -153,10 +155,13 @@ fn e2() {
 fn e3() {
     let session = generals_session(10);
     println!("generals: interleaved knowledge depth after d deliveries (paper: depth = d)");
+    // One cache across the delivery sweep: ladder level `cand` is compiled
+    // and bound once, not once per `d`.
+    let mut cache = EvalCache::new();
     for d in 0..=5usize {
         println!(
             "  d = {d}: depth {}",
-            ladder_depth_at_end(isys(&session), d, 9)
+            ladder_depth_at_end_cached(isys(&session), d, 9, &mut cache)
         );
     }
 }
@@ -230,7 +235,9 @@ fn e6() {
     for eps in [2u64, 3] {
         let (builder, meta) = r2d2_parts(eps, 4, 4, R2d2Mode::Uncertain);
         let session = Engine::from_system(builder).build().unwrap();
-        let onsets = ladder_onsets(isys(&session), &meta, 3).unwrap();
+        // Caches are frame-tied: each session gets its own.
+        let mut cache = EvalCache::new();
+        let onsets = ladder_onsets_cached(isys(&session), &meta, 3, &mut cache).unwrap();
         let ts = meta.ts;
         print!("eps={eps}: t_S={ts}, (K_R K_D)^k onsets:");
         for (k, o) in onsets.iter().enumerate() {
@@ -240,7 +247,8 @@ fn e6() {
     }
     let (builder, _meta) = r2d2_parts(2, 4, 4, R2d2Mode::Uncertain);
     let session = Engine::from_system(builder).build().unwrap();
-    let ck = ck_sent(isys(&session)).unwrap();
+    let mut cache = EvalCache::new();
+    let ck = ck_sent_cached(isys(&session), &mut cache).unwrap();
     let last_send = 8 * 2;
     let in_window: usize = session
         .system()
@@ -259,8 +267,9 @@ fn e6() {
     ] {
         let (builder, meta) = r2d2_parts(2, 3, 3, mode);
         let session = Engine::from_system(builder).build().unwrap();
+        let mut cache = EvalCache::new();
         let f = Formula::common(g2(), Formula::atom(atom));
-        let onset = first_time(isys(&session), meta.focus_slow, &f).unwrap();
+        let onset = first_time_cached(isys(&session), meta.focus_slow, &f, &mut cache).unwrap();
         println!(
             "{mode:?}: C onset {:?} (paper: t_S + eps = {})",
             onset,
@@ -440,7 +449,7 @@ fn e14() {
     let fact = Frame::atom_set(isys(&session), "both_aware").unwrap();
     let beliefs = BeliefAssignment::from_predicates(
         isys(&session),
-        vec![
+        &[
             Box::new(move |run: &hm_runs::Run, t: u64| {
                 run.proc(AgentId::new(0)).events_before(t).count() > 0
             }),

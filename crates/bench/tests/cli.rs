@@ -124,6 +124,82 @@ fn describe_shows_parameters_and_example() {
 }
 
 #[test]
+fn check_reports_each_malformed_class_without_panicking() {
+    // (args, expected code in the diagnostic line) — each class must
+    // exit 1 with a structured diagnostic, not a panic or bind error.
+    let cases: &[(&[&str], &str)] = &[
+        (&["check", "generals", "C{0,1} dispatchd"], "unknown-atom"),
+        (
+            &["check", "generals", "K5 dispatched"],
+            "agent-out-of-range",
+        ),
+        (&["check", "generals", "$Y & dispatched"], "unbound-var"),
+        (
+            &[
+                "check",
+                "--horizon",
+                "3",
+                "generals",
+                "next next next next next dispatched",
+            ],
+            "temporal-depth-exceeds-horizon",
+        ),
+    ];
+    for (args, code) in cases {
+        let out = hm(args);
+        assert_eq!(out.status.code(), Some(1), "{args:?}: {}", stderr(&out));
+        let text = stdout(&out);
+        assert!(text.contains(code), "`{code}` missing from:\n{text}");
+    }
+}
+
+#[test]
+fn check_clean_query_exits_zero() {
+    let out = hm(&["check", "generals", "C{0,1} dispatched"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert_eq!(
+        stdout(&out),
+        "ok: no diagnostics for `C{0,1} dispatched` on `generals`\n"
+    );
+}
+
+#[test]
+fn check_json_round_trips() {
+    let out = hm(&["check", "--json", "generals", "C{0,1} dispatchd"]);
+    assert_eq!(out.status.code(), Some(1));
+    let report = hm_engine::Diagnostics::from_json(stdout(&out).trim()).expect("parse report");
+    assert!(report.has_errors());
+    assert_eq!(report.errors()[0].code(), "unknown-atom");
+    // Second round trip: serializing the parsed report reproduces the
+    // CLI's bytes exactly.
+    assert_eq!(report.to_json(), stdout(&out).trim());
+}
+
+#[test]
+fn check_explain_prints_the_facts_table() {
+    let out = hm(&["check", "--explain", "generals", "C{0} C{0} dispatched"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    for needle in [
+        "facts:",
+        "modal depth",
+        "quotient-safe",
+        "after simplification",
+    ] {
+        assert!(text.contains(needle), "`{needle}` missing from:\n{text}");
+    }
+}
+
+#[test]
+fn check_catalog_is_clean() {
+    let out = hm(&["check", "--catalog"]);
+    assert!(out.status.success(), "{}", stdout(&out));
+    let text = stdout(&out);
+    assert_eq!(text.lines().count(), 14, "one line per scenario:\n{text}");
+    assert!(text.lines().all(|l| l.starts_with("ok")), "{text}");
+}
+
+#[test]
 fn usage_errors_exit_2() {
     for args in [
         &["ask", "generals"][..],

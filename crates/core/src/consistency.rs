@@ -30,9 +30,9 @@ pub struct BeliefAssignment {
 
 impl BeliefAssignment {
     /// Builds an assignment from per-agent predicates over `(run, t)`.
-    pub fn from_predicates(isys: &InterpretedSystem, preds: Vec<BeliefPred>) -> Self {
+    pub fn from_predicates(isys: &InterpretedSystem, preds: &[BeliefPred]) -> Self {
         let mut believes = Vec::with_capacity(preds.len());
-        for pred in &preds {
+        for pred in preds {
             let mut set = WorldSet::empty(isys.model().num_worlds());
             for (rid, run) in isys.system().runs() {
                 for t in 0..=run.horizon {
@@ -189,7 +189,7 @@ mod tests {
         let fact = hm_logic::Frame::atom_set(&isys, "both_aware").unwrap();
         let beliefs = BeliefAssignment::from_predicates(
             &isys,
-            vec![
+            &[
                 // R2 believes once its send is in its history.
                 Box::new(|run: &hm_runs::Run, t: u64| run.proc(a(0)).events_before(t).count() > 0),
                 // D2 believes once its receive is in its history.

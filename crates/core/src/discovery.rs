@@ -237,7 +237,7 @@ pub fn discovery_trajectory(
     let first = |set: &WorldSet| (0..=run.horizon).find(|&t| set.contains(isys.world(rid, t)));
     let d = isys.eval(&Formula::distributed(g.clone(), fact.clone()))?;
     let s = isys.eval(&Formula::someone(g.clone(), fact.clone()))?;
-    let e = isys.eval(&Formula::everyone(g.clone(), fact.clone()))?;
+    let e = isys.eval(&Formula::everyone(g, fact))?;
     Ok(DiscoveryTrajectory {
         d_onset: first(&d),
         s_onset: first(&s),

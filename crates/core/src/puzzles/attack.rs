@@ -13,7 +13,7 @@
 //!   rules, each of which is either unsafe or never attacks.
 
 use hm_kripke::{AgentGroup, AgentId, WorldSet};
-use hm_logic::{Formula, F};
+use hm_logic::{EvalCache, Formula, F};
 use hm_netsim::scenarios::{attacks_in, generals_attack_system, generals_system_opts, ACT_ATTACK};
 use hm_netsim::EnumerateError;
 use hm_runs::{CompleteHistory, Event, InterpretedSystem, InterpretedSystemBuilder, RunId};
@@ -158,6 +158,24 @@ pub fn ladder_formula(depth: usize, fact: F) -> F {
 /// Panics if the system has no run with exactly `d` deliveries, or on an
 /// evaluation error (ill-formed system).
 pub fn ladder_depth_at_end(isys: &InterpretedSystem, d: usize, max_depth: usize) -> usize {
+    let mut cache = EvalCache::new();
+    ladder_depth_at_end_cached(isys, d, max_depth, &mut cache)
+}
+
+/// [`ladder_depth_at_end`] through an [`EvalCache`]: each ladder level is
+/// compiled and bound once per cache, however many delivery counts `d` the
+/// caller sweeps. The cache must be used with this `isys` only.
+///
+/// # Panics
+///
+/// Panics if the system has no run with exactly `d` deliveries, or on an
+/// evaluation error (ill-formed system).
+pub fn ladder_depth_at_end_cached(
+    isys: &InterpretedSystem,
+    d: usize,
+    max_depth: usize,
+    cache: &mut EvalCache,
+) -> usize {
     let (run_id, run) = isys
         .system()
         .runs()
@@ -169,7 +187,8 @@ pub fn ladder_depth_at_end(isys: &InterpretedSystem, d: usize, max_depth: usize)
     let mut depth = 0;
     for cand in 1..=max_depth {
         let f = ladder_formula(cand, Formula::atom("dispatched"));
-        if isys.holds(&f, run_id, end).expect("well-formed") {
+        let set = cache.eval(isys, &f).expect("well-formed");
+        if set.contains(isys.world(run_id, end)) {
             depth = cand;
         } else {
             break;

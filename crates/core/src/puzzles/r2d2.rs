@@ -13,7 +13,7 @@
 //! paper's claim is about the *increments*, which are exactly ε.
 
 use hm_kripke::{AgentGroup, AgentId};
-use hm_logic::{EvalError, Formula, F};
+use hm_logic::{EvalCache, EvalError, Formula, F};
 use hm_netsim::scenarios::{r2d2, R2d2, R2d2Mode};
 use hm_runs::{CompleteHistory, Event, InterpretedSystem, InterpretedSystemBuilder, RunId};
 
@@ -88,6 +88,25 @@ pub fn first_time(
     Ok((0..=horizon).find(|&t| set.contains(isys.world(run, t))))
 }
 
+/// [`first_time`] through an [`EvalCache`]: the formula is compiled and
+/// bound on first sight, so onset scans that revisit the same ladder
+/// levels (different runs, different `k_max`) stop re-walking the tree.
+/// The cache must be used with this `isys` only.
+///
+/// # Errors
+///
+/// Propagates [`EvalError`].
+pub fn first_time_cached(
+    isys: &InterpretedSystem,
+    run: RunId,
+    formula: &F,
+    cache: &mut EvalCache,
+) -> Result<Option<u64>, EvalError> {
+    let set = cache.eval(isys, formula)?;
+    let horizon = isys.system().run(run).horizon;
+    Ok((0..=horizon).find(|&t| set.contains(isys.world(run, t))))
+}
+
 /// The onset times of the ladder levels `k = 0..=k_max` in the focus slow
 /// run: `onsets[k]` is the first time `(K_R K_D)^k sent` holds there.
 ///
@@ -107,6 +126,26 @@ pub fn ladder_onsets(
     Ok(out)
 }
 
+/// [`ladder_onsets`] through an [`EvalCache`]: each ladder level is
+/// compiled and bound once per cache, however many sweeps share it.
+///
+/// # Errors
+///
+/// Propagates [`EvalError`].
+pub fn ladder_onsets_cached(
+    isys: &InterpretedSystem,
+    meta: &R2d2,
+    k_max: usize,
+    cache: &mut EvalCache,
+) -> Result<Vec<Option<u64>>, EvalError> {
+    let mut out = Vec::with_capacity(k_max + 1);
+    for k in 0..=k_max {
+        let f = rd_ladder(k, Formula::atom("sent"));
+        out.push(first_time_cached(isys, meta.focus_slow, &f, cache)?);
+    }
+    Ok(out)
+}
+
 /// `C_{R2,D2} sent` as a world set.
 ///
 /// # Errors
@@ -114,6 +153,19 @@ pub fn ladder_onsets(
 /// Propagates [`EvalError`].
 pub fn ck_sent(isys: &InterpretedSystem) -> Result<hm_kripke::WorldSet, EvalError> {
     isys.eval(&Formula::common(AgentGroup::all(2), Formula::atom("sent")))
+}
+
+/// [`ck_sent`] through an [`EvalCache`].
+///
+/// # Errors
+///
+/// Propagates [`EvalError`].
+pub fn ck_sent_cached(
+    isys: &InterpretedSystem,
+    cache: &mut EvalCache,
+) -> Result<hm_kripke::WorldSet, EvalError> {
+    let f = Formula::common(AgentGroup::all(2), Formula::atom("sent"));
+    cache.eval(isys, &f)
 }
 
 #[cfg(test)]

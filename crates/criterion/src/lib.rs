@@ -183,6 +183,9 @@ pub struct BenchmarkGroup<'a> {
 impl BenchmarkGroup<'_> {
     /// Runs a benchmark whose id is parameterised by `id` (the input
     /// value itself is just passed through to the closure).
+    // By-value `id` mirrors upstream criterion's signature; benches are
+    // written against that API.
+    #[allow(clippy::needless_pass_by_value)]
     pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
     where
         I: ?Sized,

@@ -51,11 +51,16 @@
 mod scenario;
 mod spec;
 
-pub use scenario::{Scenario, ScenarioFrame, ScenarioParams, ScenarioRegistry};
+pub use scenario::{Scenario, ScenarioFrame, ScenarioParams, ScenarioRegistry, Surface};
 pub use spec::{ParamDescriptor, ParamKind, ParamValue, ParamValues, ScenarioSpec, SpecError};
 
+// The analysis types `Session::check` and `check_spec` return.
+pub use hm_logic::{Diagnostic, Diagnostics, Severity};
+
 use hm_kripke::{minimize, KripkeModel, Minimized, WorldId, WorldSet};
-use hm_logic::{compile, Bound, CompiledFormula, EvalError, Formula, Frame, ParseError, F};
+use hm_logic::{
+    compile, simplify, Analyzer, Bound, CompiledFormula, EvalError, Formula, Frame, ParseError, F,
+};
 use hm_netsim::EnumerateError;
 use hm_runs::{InterpretedSystem, InterpretedSystemBuilder, RunId, System};
 use std::collections::HashMap;
@@ -375,7 +380,11 @@ pub struct Session {
     /// system without a folded quotient).
     late_quotient: Option<Minimized>,
     minimize: bool,
+    /// Compiled programs, keyed by the *original* formula (the program
+    /// itself is compiled from the simplified one).
     cache: HashMap<Formula, CachedQuery>,
+    /// Static-analysis reports, keyed by the original formula.
+    reports: HashMap<Formula, Diagnostics>,
 }
 
 impl fmt::Debug for Session {
@@ -406,6 +415,7 @@ impl Session {
             late_quotient,
             minimize: minimize_on,
             cache: HashMap::new(),
+            reports: HashMap::new(),
         }
     }
 
@@ -483,6 +493,22 @@ impl Session {
         })
     }
 
+    /// The static-analysis report for a query: typed diagnostics and
+    /// inferred facts (see [`Diagnostics`]), produced *without
+    /// evaluating* and cached per formula. [`ask`](Self::ask) consults
+    /// the same report, so checking first costs nothing extra.
+    pub fn check(&mut self, query: &Query) -> &Diagnostics {
+        let f: &Formula = query.formula();
+        if !self.reports.contains_key(f) {
+            let report = Analyzer::new()
+                .frame(self.frame())
+                .minimize(self.minimize)
+                .analyze(f);
+            self.reports.insert(f.clone(), report);
+        }
+        &self.reports[f]
+    }
+
     /// The satisfying set of a query (see [`ask`](Self::ask)).
     ///
     /// # Errors
@@ -491,7 +517,15 @@ impl Session {
     pub fn satisfying(&mut self, query: &Query) -> Result<WorldSet, EngineError> {
         let f: &Formula = query.formula();
         if !self.cache.contains_key(f) {
-            let compiled = compile(f)?;
+            // One diagnostic source of truth: the analyzer replays
+            // compile-then-bind errors exactly (pinned by hm-logic's
+            // differential tests), so gate on its report of the
+            // *original* formula, then compile the simplified one — the
+            // program is smaller, the verdict identical.
+            if let Some(err) = self.check(query).first_error_as_eval() {
+                return Err(err.into());
+            }
+            let compiled = compile(&simplify(query.formula()))?;
             let full = compiled.bind(self.frame())?;
             let quotient = if self.minimize && compiled.quotient_safe() {
                 match self.quotient() {
@@ -560,6 +594,59 @@ impl Session {
     pub fn compiled_queries(&self) -> usize {
         self.cache.len()
     }
+}
+
+/// Lints `query` against the *surface* of `spec` — the vocabulary, agent
+/// count, temporal capability and horizon the scenario declares (see
+/// [`Surface`]) — without building the frame: `agreement:n=4,f=2` is
+/// ~57k runs to build but microseconds to check. `horizon` overrides the
+/// spec's horizon parameter (mirroring [`Engine::horizon`]); `minimize`
+/// adds quotient-safety warnings (mirroring [`Engine::minimize`]).
+///
+/// # Errors
+///
+/// [`EngineError::Spec`] for malformed specs or parameters and
+/// [`EngineError::Parse`] for unparseable queries. Findings about a
+/// well-formed query are the `Ok` payload.
+///
+/// # Examples
+///
+/// ```
+/// use hm_engine::check_spec;
+/// let report = check_spec("generals", "C{0,1} dispatchd", None, false)?;
+/// assert!(report.has_errors()); // typo: unknown atom
+/// assert!(check_spec("generals", "C{0,1} dispatched", None, false)?.is_clean());
+/// # Ok::<(), hm_engine::EngineError>(())
+/// ```
+pub fn check_spec(
+    spec: &str,
+    query: &str,
+    horizon: Option<u64>,
+    minimize_on: bool,
+) -> Result<Diagnostics, EngineError> {
+    let registry = ScenarioRegistry::builtin();
+    let (scenario, values) = registry.resolve(spec)?;
+    let params = ScenarioParams {
+        horizon,
+        parallel: false,
+        values,
+    };
+    let surface = scenario.surface(&params);
+    let f = hm_logic::parse(query)?;
+    let mut analyzer = Analyzer::new().minimize(minimize_on);
+    if let Some(atoms) = surface.atoms.as_deref() {
+        analyzer = analyzer.vocabulary(atoms);
+    }
+    if let Some(n) = surface.num_agents {
+        analyzer = analyzer.num_agents(n);
+    }
+    if let Some(t) = surface.temporal {
+        analyzer = analyzer.temporal(t);
+    }
+    if let Some(h) = surface.horizon {
+        analyzer = analyzer.horizon(h);
+    }
+    Ok(analyzer.analyze(&f))
 }
 
 #[cfg(test)]

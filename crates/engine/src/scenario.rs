@@ -68,6 +68,35 @@ impl ScenarioParams {
     }
 }
 
+/// What is knowable about a scenario's frame *without building it*: the
+/// atom vocabulary, the agent count, whether runs (and hence temporal
+/// operators) exist, and the time horizon. `hm check` feeds a `Surface`
+/// to the [`Analyzer`](hm_logic::Analyzer) so a query can be linted
+/// against `agreement:n=4,f=2` (~57k runs) in microseconds.
+///
+/// Every field is optional: `None` means "unknown — don't check". A
+/// scenario that cannot predict its frame returns
+/// [`Surface::unknown`]; the analyzer then reports only structural
+/// diagnostics.
+#[derive(Debug, Clone, Default)]
+pub struct Surface {
+    /// The atoms the built frame will interpret, when known.
+    pub atoms: Option<Vec<String>>,
+    /// Number of agents, when known.
+    pub num_agents: Option<usize>,
+    /// Whether the frame will have run/time structure, when known.
+    pub temporal: Option<bool>,
+    /// The last tick of every run, when known (model frames: `None`).
+    pub horizon: Option<u64>,
+}
+
+impl Surface {
+    /// A surface that declares nothing: every check is skipped.
+    pub fn unknown() -> Self {
+        Surface::default()
+    }
+}
+
 /// What a scenario hands to the engine: either a static Kripke model or
 /// an interpretation builder still open to build options.
 pub enum ScenarioFrame {
@@ -112,6 +141,16 @@ pub trait Scenario {
     /// smoke query. The default is atom-free so it binds on any frame.
     fn example_query(&self) -> String {
         "nu X. $X".into()
+    }
+
+    /// What the frame built from `params` will look like, without
+    /// building it — the vocabulary `hm check` lints against. The
+    /// default declares nothing (every frame check skipped); built-in
+    /// scenarios override it, and a test pins each declared surface to
+    /// the built frame.
+    fn surface(&self, params: &ScenarioParams) -> Surface {
+        let _ = params;
+        Surface::unknown()
     }
 
     /// Constructs the frame under the engine's options.
@@ -244,6 +283,16 @@ impl Default for ScenarioRegistry {
     }
 }
 
+/// Surface helper: a fixed vocabulary over `agents` agents.
+fn fixed_surface(atoms: &[&str], agents: usize, temporal: bool, horizon: Option<u64>) -> Surface {
+    Surface {
+        atoms: Some(atoms.iter().map(ToString::to_string).collect()),
+        num_agents: Some(agents),
+        temporal: Some(temporal),
+        horizon,
+    }
+}
+
 /// Section 2: the muddy-children cube with `n` children; `dirty = k`
 /// applies the father's announcement plus `k - 1` unanimous-"no" rounds
 /// (the frame right before question `k`).
@@ -277,6 +326,18 @@ impl Scenario for Muddy {
 
     fn example_query(&self) -> String {
         "K0 m".into()
+    }
+
+    fn surface(&self, params: &ScenarioParams) -> Surface {
+        let n = params.values.size("n");
+        let mut atoms = vec!["m".to_string()];
+        atoms.extend((0..n).map(|i| format!("muddy{i}")));
+        Surface {
+            atoms: Some(atoms),
+            num_agents: Some(n),
+            temporal: Some(false),
+            horizon: None,
+        }
     }
 
     fn build(&self, params: &ScenarioParams) -> Result<ScenarioFrame, EngineError> {
@@ -328,6 +389,11 @@ impl Scenario for Generals {
         "K1 dispatched".into()
     }
 
+    fn surface(&self, params: &ScenarioParams) -> Surface {
+        let h = params.horizon_or(params.values.int("horizon"));
+        fixed_surface(&["dispatched", "attacking"], 2, true, Some(h))
+    }
+
     fn build(&self, params: &ScenarioParams) -> Result<ScenarioFrame, EngineError> {
         Ok(ScenarioFrame::Interpreted(generals_builder(
             params.horizon_or(params.values.int("horizon")),
@@ -365,6 +431,11 @@ impl Scenario for GeneralsUnbounded {
 
     fn example_query(&self) -> String {
         "K1 sent".into()
+    }
+
+    fn surface(&self, params: &ScenarioParams) -> Surface {
+        let h = params.horizon_or(params.values.int("horizon"));
+        fixed_surface(&["sent"], 2, true, Some(h))
     }
 
     fn build(&self, params: &ScenarioParams) -> Result<ScenarioFrame, EngineError> {
@@ -415,6 +486,12 @@ impl Scenario for R2d2Family {
         "K0 K1 sent".into()
     }
 
+    fn surface(&self, _params: &ScenarioParams) -> Surface {
+        // Run length is a function of eps/pre/post buried in the netsim
+        // scenario; leave the horizon unchecked.
+        fixed_surface(&["sent", "sent_focus"], 2, true, None)
+    }
+
     fn build(&self, params: &ScenarioParams) -> Result<ScenarioFrame, EngineError> {
         let (builder, _meta) = r2d2_parts(
             params.values.int("eps"),
@@ -460,6 +537,11 @@ impl Scenario for UncertainStart {
         "!C{0,1} sent".into()
     }
 
+    fn surface(&self, params: &ScenarioParams) -> Surface {
+        let h = params.horizon_or(params.values.int("horizon"));
+        fixed_surface(&["sent", "five_oclock"], 2, true, Some(h))
+    }
+
     fn build(&self, params: &ScenarioParams) -> Result<ScenarioFrame, EngineError> {
         Ok(ScenarioFrame::Interpreted(uncertain_start_builder(
             params.horizon_or(params.values.int("horizon")),
@@ -496,6 +578,11 @@ impl Scenario for OkProtocol {
 
     fn example_query(&self) -> String {
         "Ceps[1]{0,1} psi".into()
+    }
+
+    fn surface(&self, params: &ScenarioParams) -> Surface {
+        let h = params.horizon_or(params.values.int("horizon"));
+        fixed_surface(&["psi", "ok_sent"], 2, true, Some(h))
     }
 
     fn build(&self, params: &ScenarioParams) -> Result<ScenarioFrame, EngineError> {
@@ -537,6 +624,11 @@ impl Scenario for Skewed {
 
     fn example_query(&self) -> String {
         "CT[6]{0,1} sent_v".into()
+    }
+
+    fn surface(&self, params: &ScenarioParams) -> Surface {
+        let h = params.horizon_or(params.values.int("horizon"));
+        fixed_surface(&["sent_v"], 2, true, Some(h))
     }
 
     fn build(&self, params: &ScenarioParams) -> Result<ScenarioFrame, EngineError> {
@@ -581,6 +673,12 @@ impl Scenario for Agreement {
         "C{0,1,2} min0".into()
     }
 
+    fn surface(&self, params: &ScenarioParams) -> Surface {
+        // Run length follows from f (f+2 rounds), not from a declared
+        // horizon; leave it unchecked.
+        fixed_surface(&["min0", "decided0"], params.values.size("n"), true, None)
+    }
+
     fn build(&self, params: &ScenarioParams) -> Result<ScenarioFrame, EngineError> {
         Ok(ScenarioFrame::Interpreted(agreement_builder(
             AgreementSpec {
@@ -619,6 +717,16 @@ impl Scenario for Deadlock {
         "K0 deadlock".into()
     }
 
+    fn surface(&self, params: &ScenarioParams) -> Surface {
+        let h = params.horizon_or(params.values.int("horizon"));
+        fixed_surface(
+            &["deadlock", "detected"],
+            params.values.size("n"),
+            true,
+            Some(h),
+        )
+    }
+
     fn build(&self, params: &ScenarioParams) -> Result<ScenarioFrame, EngineError> {
         Ok(ScenarioFrame::Interpreted(deadlock_builder(
             params.values.size("n"),
@@ -646,6 +754,10 @@ impl Scenario for Consistency {
 
     fn example_query(&self) -> String {
         "K0 both_aware".into()
+    }
+
+    fn surface(&self, _params: &ScenarioParams) -> Surface {
+        fixed_surface(&["both_aware"], 2, true, None)
     }
 
     fn build(&self, _params: &ScenarioParams) -> Result<ScenarioFrame, EngineError> {
@@ -681,6 +793,10 @@ impl Scenario for Views {
 
     fn example_query(&self) -> String {
         "K0 sent_twice".into()
+    }
+
+    fn surface(&self, _params: &ScenarioParams) -> Surface {
+        fixed_surface(&["sent_twice"], 2, true, None)
     }
 
     fn build(&self, params: &ScenarioParams) -> Result<ScenarioFrame, EngineError> {
@@ -723,6 +839,16 @@ impl Scenario for Random {
 
     fn example_query(&self) -> String {
         "D{0,1,2} q0".into()
+    }
+
+    fn surface(&self, params: &ScenarioParams) -> Surface {
+        let v = &params.values;
+        Surface {
+            atoms: Some((0..v.size("atoms")).map(|i| format!("q{i}")).collect()),
+            num_agents: Some(v.size("agents")),
+            temporal: Some(false),
+            horizon: None,
+        }
     }
 
     fn build(&self, params: &ScenarioParams) -> Result<ScenarioFrame, EngineError> {
@@ -833,6 +959,54 @@ mod tests {
         assert_eq!(build("muddy:n=4,dirty=2").num_worlds(), 11);
         // Before question n, only the all-muddy world is left.
         assert_eq!(build("muddy:n=4,dirty=4").num_worlds(), 1);
+    }
+
+    #[test]
+    fn declared_surfaces_match_built_frames() {
+        use hm_kripke::AtomId;
+        use hm_logic::Frame as _;
+        use std::collections::BTreeSet;
+        let reg = ScenarioRegistry::builtin();
+        for s in reg.iter() {
+            let name = s.name();
+            let params = ScenarioParams {
+                values: ParamValues::defaults(&s.params()),
+                ..ScenarioParams::default()
+            };
+            let surface = s.surface(&params);
+            assert!(
+                surface.atoms.is_some() && surface.num_agents.is_some(),
+                "{name}: every builtin declares its surface"
+            );
+            let (model, ts_horizon) = match s.build(&params).unwrap() {
+                ScenarioFrame::Model(m) => {
+                    assert_eq!(surface.temporal, Some(false), "{name}");
+                    (m, None)
+                }
+                ScenarioFrame::Interpreted(b) => {
+                    let isys = b.build();
+                    assert_eq!(surface.temporal, Some(true), "{name}");
+                    let ts = isys.temporal().expect("interpreted systems have runs");
+                    let h = (0..ts.num_runs())
+                        .map(|r| ts.run_len(r).saturating_sub(1))
+                        .max();
+                    (isys.model().clone(), h)
+                }
+            };
+            let actual: BTreeSet<String> = (0..model.num_atoms())
+                .map(|i| model.atom_name(AtomId::new(i)).to_string())
+                .collect();
+            let declared: BTreeSet<String> = surface.atoms.unwrap().into_iter().collect();
+            assert_eq!(declared, actual, "{name}: atom vocabulary");
+            assert_eq!(
+                surface.num_agents,
+                Some(model.num_agents()),
+                "{name}: agent count"
+            );
+            if let Some(h) = surface.horizon {
+                assert_eq!(Some(h), ts_horizon, "{name}: horizon = last tick");
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,500 @@
+//! Hand-rolled JSON for [`Diagnostics`] (`hm check --json`).
+//!
+//! The workspace is fully offline (no serde), so this module carries a
+//! minimal writer and a minimal recursive-descent reader, enough for the
+//! fixed report schema to round-trip: `from_json(to_json(d)) == d`.
+//! `message` and `severity` are emitted for consumers but derived on
+//! read; each diagnostic's identity is `(code, payload, path)`.
+
+use super::{DiagKind, Diagnostic, Diagnostics, Facts, Severity};
+use std::fmt::Write as _;
+
+// ---------------------------------------------------------------------------
+// Writing
+// ---------------------------------------------------------------------------
+
+fn esc(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn opt_usize(out: &mut String, v: Option<usize>) {
+    match v {
+        Some(n) => {
+            let _ = write!(out, "{n}");
+        }
+        None => out.push_str("null"),
+    }
+}
+
+fn write_diag(out: &mut String, d: &Diagnostic) {
+    out.push_str("{\"severity\":");
+    esc(
+        out,
+        match d.severity() {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        },
+    );
+    out.push_str(",\"code\":");
+    esc(out, d.code());
+    out.push_str(",\"path\":");
+    esc(out, d.path());
+    out.push_str(",\"message\":");
+    esc(out, &d.message());
+    match &d.kind {
+        DiagKind::UnknownAtom(a) => {
+            out.push_str(",\"atom\":");
+            esc(out, a);
+        }
+        DiagKind::AgentOutOfRange(i) => {
+            let _ = write!(out, ",\"agent\":{i}");
+        }
+        DiagKind::UnboundVar(x)
+        | DiagKind::NonMonotone(x)
+        | DiagKind::ShadowedVar(x)
+        | DiagKind::VacuousFixpoint(x) => {
+            out.push_str(",\"var\":");
+            esc(out, x);
+        }
+        DiagKind::NoTemporalStructure(op) | DiagKind::NotQuotientSafe(op) => {
+            out.push_str(",\"op\":");
+            esc(out, op);
+        }
+        DiagKind::DeadSubformula(why) => {
+            out.push_str(",\"detail\":");
+            esc(out, why);
+        }
+        DiagKind::ConstantFormula(v) => {
+            let _ = write!(out, ",\"value\":{v}");
+        }
+        DiagKind::TemporalDepthExceedsHorizon { depth, horizon } => {
+            let _ = write!(out, ",\"depth\":{depth},\"horizon\":{horizon}");
+        }
+    }
+    out.push('}');
+}
+
+impl Diagnostics {
+    /// Serializes the report to one line of JSON. Round-trips through
+    /// [`from_json`](Self::from_json).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"errors\":[");
+        for (i, d) in self.errors.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_diag(&mut out, d);
+        }
+        out.push_str("],\"warnings\":[");
+        for (i, d) in self.warnings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_diag(&mut out, d);
+        }
+        out.push_str("],\"facts\":{\"nodes\":");
+        let f = &self.facts;
+        let _ = write!(
+            out,
+            "{},\"modal_depth\":{},\"temporal_depth\":{},\"agents\":[",
+            f.nodes, f.modal_depth, f.temporal_depth
+        );
+        for (i, a) in f.agents.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{a}");
+        }
+        out.push_str("],\"atoms\":[");
+        for (i, a) in f.atoms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            esc(&mut out, a);
+        }
+        let _ = write!(out, "],\"quotient_safe\":{},", f.quotient_safe);
+        out.push_str("\"quotient_unsafe_path\":");
+        match &f.quotient_unsafe {
+            Some((path, op)) => {
+                esc(&mut out, path);
+                out.push_str(",\"quotient_unsafe_op\":");
+                esc(&mut out, op);
+            }
+            None => out.push_str("null,\"quotient_unsafe_op\":null"),
+        }
+        out.push_str(",\"instructions\":");
+        opt_usize(&mut out, f.instructions);
+        out.push_str(",\"instructions_simplified\":");
+        opt_usize(&mut out, f.instructions_simplified);
+        out.push_str(",\"simplified\":");
+        esc(&mut out, &f.simplified);
+        out.push_str("}}");
+        out
+    }
+
+    /// Reads a report back from [`to_json`](Self::to_json) output.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first syntax or schema
+    /// problem.
+    pub fn from_json(src: &str) -> Result<Diagnostics, String> {
+        let v = Value::parse(src)?;
+        let errors = v
+            .field("errors")?
+            .array()?
+            .iter()
+            .map(read_diag)
+            .collect::<Result<Vec<_>, _>>()?;
+        let warnings = v
+            .field("warnings")?
+            .array()?
+            .iter()
+            .map(read_diag)
+            .collect::<Result<Vec<_>, _>>()?;
+        let fv = v.field("facts")?;
+        let quotient_unsafe = match fv.field("quotient_unsafe_path")? {
+            Value::Null => None,
+            p => Some((p.string()?, fv.field("quotient_unsafe_op")?.string()?)),
+        };
+        let facts = Facts {
+            nodes: fv.field("nodes")?.usize()?,
+            modal_depth: fv.field("modal_depth")?.usize()? as u32,
+            temporal_depth: fv.field("temporal_depth")?.usize()? as u32,
+            agents: fv
+                .field("agents")?
+                .array()?
+                .iter()
+                .map(Value::usize)
+                .collect::<Result<Vec<_>, _>>()?,
+            atoms: fv
+                .field("atoms")?
+                .array()?
+                .iter()
+                .map(Value::string)
+                .collect::<Result<Vec<_>, _>>()?,
+            quotient_safe: fv.field("quotient_safe")?.boolean()?,
+            quotient_unsafe,
+            instructions: fv.field("instructions")?.opt_usize()?,
+            instructions_simplified: fv.field("instructions_simplified")?.opt_usize()?,
+            simplified: fv.field("simplified")?.string()?,
+        };
+        Ok(Diagnostics {
+            errors,
+            warnings,
+            facts,
+        })
+    }
+}
+
+fn read_diag(v: &Value) -> Result<Diagnostic, String> {
+    let code = v.field("code")?.string()?;
+    let path = v.field("path")?.string()?;
+    let var = || v.field("var")?.string();
+    let op = || v.field("op")?.string();
+    let kind = match code.as_str() {
+        "unknown-atom" => DiagKind::UnknownAtom(v.field("atom")?.string()?),
+        "agent-out-of-range" => DiagKind::AgentOutOfRange(v.field("agent")?.usize()?),
+        "unbound-var" => DiagKind::UnboundVar(var()?),
+        "non-monotone" => DiagKind::NonMonotone(var()?),
+        "no-temporal-structure" => DiagKind::NoTemporalStructure(op()?),
+        "shadowed-var" => DiagKind::ShadowedVar(var()?),
+        "dead-subformula" => DiagKind::DeadSubformula(v.field("detail")?.string()?),
+        "vacuous-fixpoint" => DiagKind::VacuousFixpoint(var()?),
+        "constant-formula" => DiagKind::ConstantFormula(v.field("value")?.boolean()?),
+        "temporal-depth-exceeds-horizon" => DiagKind::TemporalDepthExceedsHorizon {
+            depth: v.field("depth")?.usize()? as u32,
+            horizon: v.field("horizon")?.usize()? as u64,
+        },
+        "not-quotient-safe" => DiagKind::NotQuotientSafe(op()?),
+        other => return Err(format!("unknown diagnostic code `{other}`")),
+    };
+    Ok(Diagnostic { kind, path })
+}
+
+// ---------------------------------------------------------------------------
+// Reading: a minimal JSON value
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value, just enough for the report schema.
+#[derive(Debug)]
+enum Value {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    fn parse(src: &str) -> Result<Value, String> {
+        let mut p = Parser {
+            bytes: src.as_bytes(),
+            at: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.at != p.bytes.len() {
+            return Err(format!("trailing input at byte {}", p.at));
+        }
+        Ok(v)
+    }
+
+    fn field(&self, name: &str) -> Result<&Value, String> {
+        match self {
+            Value::Obj(fields) => fields
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| format!("missing field `{name}`")),
+            _ => Err(format!("expected object with field `{name}`")),
+        }
+    }
+
+    fn array(&self) -> Result<&[Value], String> {
+        match self {
+            Value::Arr(xs) => Ok(xs),
+            _ => Err("expected array".to_string()),
+        }
+    }
+
+    fn string(&self) -> Result<String, String> {
+        match self {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err("expected string".to_string()),
+        }
+    }
+
+    fn boolean(&self) -> Result<bool, String> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            _ => Err("expected boolean".to_string()),
+        }
+    }
+
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    fn usize(&self) -> Result<usize, String> {
+        match self {
+            Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Ok(*n as usize),
+            _ => Err("expected non-negative integer".to_string()),
+        }
+    }
+
+    fn opt_usize(&self) -> Result<Option<usize>, String> {
+        match self {
+            Value::Null => Ok(None),
+            v => v.usize().map(Some),
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.at)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.at += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        if self.bytes.get(self.at) == Some(&b) {
+            self.at += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", b as char, self.at))
+        }
+    }
+
+    fn lit(&mut self, word: &str, v: Value) -> Result<Value, String> {
+        if self.bytes[self.at..].starts_with(word.as_bytes()) {
+            self.at += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.at))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.bytes.get(self.at) {
+            Some(b'n') => self.lit("null", Value::Null),
+            Some(b't') => self.lit("true", Value::Bool(true)),
+            Some(b'f') => self.lit("false", Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => {
+                self.at += 1;
+                let mut xs = Vec::new();
+                self.skip_ws();
+                if self.bytes.get(self.at) == Some(&b']') {
+                    self.at += 1;
+                    return Ok(Value::Arr(xs));
+                }
+                loop {
+                    self.skip_ws();
+                    xs.push(self.value()?);
+                    self.skip_ws();
+                    if self.bytes.get(self.at) == Some(&b',') {
+                        self.at += 1;
+                    } else {
+                        self.eat(b']')?;
+                        return Ok(Value::Arr(xs));
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.at += 1;
+                let mut fields = Vec::new();
+                self.skip_ws();
+                if self.bytes.get(self.at) == Some(&b'}') {
+                    self.at += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.eat(b':')?;
+                    self.skip_ws();
+                    fields.push((key, self.value()?));
+                    self.skip_ws();
+                    if self.bytes.get(self.at) == Some(&b',') {
+                        self.at += 1;
+                    } else {
+                        self.eat(b'}')?;
+                        return Ok(Value::Obj(fields));
+                    }
+                }
+            }
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(format!("unexpected input at byte {}", self.at)),
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.at;
+        while self
+            .bytes
+            .get(self.at)
+            .is_some_and(|b| matches!(b, b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9'))
+        {
+            self.at += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.at])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Value::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.at) {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.at += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.at += 1;
+                    match self.bytes.get(self.at) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.at + 1..self.at + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| format!("bad \\u escape at byte {}", self.at))?;
+                            out.push(
+                                char::from_u32(hex)
+                                    .ok_or_else(|| format!("bad code point at byte {}", self.at))?,
+                            );
+                            self.at += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.at)),
+                    }
+                    self.at += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 encoded char (input is a &str, so
+                    // boundaries are valid).
+                    let rest = &self.bytes[self.at..];
+                    let s = std::str::from_utf8(rest).map_err(|_| "invalid utf-8".to_string())?;
+                    let c = s.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.at += c.len_utf8();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::Analyzer;
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn reports_round_trip() {
+        let vocab = vec!["p".to_string(), "q\"uote".to_string()];
+        for src in [
+            "K0 p -> C{0,1} (p | q)",
+            "K9 (zap & $X) | (nu Y. nu Y. $Y) | D{0,1} (p & false)",
+            "next next next (p <-> true)",
+        ] {
+            let d = Analyzer::new()
+                .vocabulary(&vocab)
+                .num_agents(2)
+                .temporal(true)
+                .horizon(2)
+                .minimize(true)
+                .analyze(&parse(src).unwrap());
+            let json = d.to_json();
+            let back = Diagnostics::from_json(&json).expect(&json);
+            assert_eq!(back, d, "{src}");
+            // And a second trip is byte-identical.
+            assert_eq!(back.to_json(), json, "{src}");
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Diagnostics::from_json("").is_err());
+        assert!(Diagnostics::from_json("{}").is_err());
+        assert!(Diagnostics::from_json("{\"errors\":[],\"warnings\":[]}").is_err());
+    }
+}

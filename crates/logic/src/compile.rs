@@ -30,6 +30,7 @@
 //!
 //! [`bind`]: CompiledFormula::bind
 
+use crate::analysis::{visit_frame_reqs, FrameReq};
 use crate::eval::{check_positive, EvalError};
 use crate::formula::Formula;
 use crate::frame::{Frame, TemporalStructure};
@@ -196,6 +197,24 @@ pub fn compile(f: &Formula) -> Result<CompiledFormula, EvalError> {
     let mut main = Vec::new();
     c.emit(f, &mut main)?;
     c.push_chunk(main);
+    // Bind-time checks come from the same frame-requirement traversal the
+    // static analyzer uses (one definition of discovery order). Every
+    // atom was interned during emission, so the lookups cannot miss; a
+    // CSE'd subtree contributes its checks once per occurrence, which
+    // repeats — harmlessly — some checks the emitter used to skip.
+    let out = &mut c.out;
+    visit_frame_reqs(f, &mut |req| match req {
+        FrameReq::Agent(i) => out.checks.push(Check::Agent(i.index() as u32)),
+        FrameReq::Atom(name) => {
+            let ix = out
+                .atoms
+                .iter()
+                .position(|a| a == name)
+                .expect("emission interned every atom");
+            out.checks.push(Check::Atom(ix as u32));
+        }
+        FrameReq::Temporal(op) => out.checks.push(Check::Temporal(op)),
+    });
     Ok(c.out)
 }
 
@@ -390,6 +409,78 @@ impl CompiledFormula {
     }
 }
 
+/// A compile-and-bind cache for workloads that evaluate the same
+/// formulas against the same frame many times (onset scans, ladder
+/// sweeps). The first [`eval`](EvalCache::eval) of a formula compiles
+/// and binds it; later calls re-run the bound program. Only the
+/// *program* is cached — every call still evaluates, so timings stay
+/// honest.
+///
+/// A cache is tied to the frame it was first used with: binding encodes
+/// frame-specific atom sets, so reusing a cache across frames panics or
+/// answers wrongly, exactly like [`CompiledFormula::eval_bound`].
+///
+/// # Examples
+///
+/// ```
+/// use hm_logic::{parse, EvalCache};
+/// use hm_kripke::{ModelBuilder, AgentId};
+/// let mut b = ModelBuilder::new(1);
+/// let w0 = b.add_world("w0");
+/// let p = b.atom("p");
+/// b.set_atom(p, w0, true);
+/// b.set_partition_by_key(AgentId::new(0), |w| w.index());
+/// let m = b.build();
+/// let f = parse("K0 p")?;
+/// let mut cache = EvalCache::new();
+/// assert!(cache.eval(&m, &f)?.contains(w0));
+/// assert!(cache.eval(&m, &f)?.contains(w0)); // compiled + bound once
+/// assert_eq!(cache.len(), 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct EvalCache {
+    entries: HashMap<Formula, (CompiledFormula, Bound)>,
+}
+
+impl EvalCache {
+    /// Creates an empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Evaluates `f` on `frame`, compiling and binding it on first
+    /// sight and reusing the bound program thereafter.
+    ///
+    /// # Errors
+    ///
+    /// First call per formula: compile errors ([`EvalError::UnboundVar`],
+    /// [`EvalError::NonMonotone`]) and bind errors
+    /// ([`CompiledFormula::bind`]). Cached calls are infallible.
+    pub fn eval(&mut self, frame: &dyn Frame, f: &Formula) -> Result<WorldSet, EvalError> {
+        if !self.entries.contains_key(f) {
+            let compiled = compile(f)?;
+            let bound = compiled.bind(frame)?;
+            self.entries.insert(f.clone(), (compiled, bound));
+        }
+        let (compiled, bound) = &self.entries[f];
+        Ok(compiled.eval_bound(frame, bound))
+    }
+
+    /// Number of distinct formulas compiled so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if no formula has been compiled yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Compilation
 // ---------------------------------------------------------------------------
@@ -452,19 +543,8 @@ impl Compiler {
         (self.out.groups.len() - 1) as u32
     }
 
-    fn check_agent(&mut self, i: AgentId) {
-        self.out.checks.push(Check::Agent(i.index() as u32));
-    }
-
-    fn check_group(&mut self, g: &AgentGroup) {
-        for i in g.iter() {
-            self.check_agent(i);
-        }
-    }
-
-    fn check_temporal(&mut self, op: &'static str) {
+    fn mark_temporal(&mut self) {
         self.out.mentions_temporal = true;
-        self.out.checks.push(Check::Temporal(op));
     }
 
     fn fresh_slot(&mut self) -> u32 {
@@ -482,7 +562,6 @@ impl Compiler {
             Formula::False => ops.push(Op::False),
             Formula::Atom(name) => {
                 let ix = self.atom(name);
-                self.out.checks.push(Check::Atom(ix));
                 ops.push(Op::Atom(ix));
             }
             Formula::Var(x) => {
@@ -522,31 +601,26 @@ impl Compiler {
                 ops.push(Op::Iff);
             }
             Formula::Knows(i, a) => {
-                self.check_agent(*i);
                 self.emit(a, ops)?;
                 ops.push(Op::Knows(i.index() as u32));
             }
             Formula::EveryoneK(g, k, a) => {
-                self.check_group(g);
                 let group = self.group(g);
                 self.emit(a, ops)?;
                 ops.push(Op::EveryoneK { group, k: *k });
             }
             Formula::Someone(g, a) => {
-                self.check_group(g);
                 let group = self.group(g);
                 self.emit(a, ops)?;
                 ops.push(Op::Someone(group));
             }
             Formula::Distributed(g, a) => {
-                self.check_group(g);
                 let group = self.group(g);
                 self.out.mentions_distributed = true;
                 self.emit(a, ops)?;
                 ops.push(Op::Distributed(group));
             }
             Formula::Common(g, a) => {
-                self.check_group(g);
                 let group = self.group(g);
                 self.emit(a, ops)?;
                 ops.push(Op::Common(group));
@@ -564,56 +638,51 @@ impl Compiler {
                 ops.push(Op::Fix { gfp, slot, body });
             }
             Formula::Next(a) => {
-                self.check_temporal("next");
+                self.mark_temporal();
                 self.emit(a, ops)?;
                 ops.push(Op::Next);
             }
             Formula::Eventually(a) => {
-                self.check_temporal("even");
+                self.mark_temporal();
                 self.emit(a, ops)?;
                 ops.push(Op::Eventually);
             }
             Formula::Always(a) => {
-                self.check_temporal("alw");
+                self.mark_temporal();
                 self.emit(a, ops)?;
                 ops.push(Op::Always);
             }
             Formula::Once(a) => {
-                self.check_temporal("once");
+                self.mark_temporal();
                 self.emit(a, ops)?;
                 ops.push(Op::Once);
             }
             Formula::EveryoneEps(g, eps, a) => {
-                self.check_group(g);
-                self.check_temporal("Eeps");
+                self.mark_temporal();
                 let group = self.group(g);
                 self.emit(a, ops)?;
                 ops.push(Op::EveryoneEps { group, eps: *eps });
             }
             Formula::CommonEps(g, eps, a) => {
-                self.check_group(g);
-                self.check_temporal("Ceps");
+                self.mark_temporal();
                 let group = self.group(g);
                 self.emit(a, ops)?;
                 ops.push(Op::CommonEps { group, eps: *eps });
             }
             Formula::EveryoneEv(g, a) => {
-                self.check_group(g);
-                self.check_temporal("Eev");
+                self.mark_temporal();
                 let group = self.group(g);
                 self.emit(a, ops)?;
                 ops.push(Op::EveryoneEv(group));
             }
             Formula::CommonEv(g, a) => {
-                self.check_group(g);
-                self.check_temporal("Cev");
+                self.mark_temporal();
                 let group = self.group(g);
                 self.emit(a, ops)?;
                 ops.push(Op::CommonEv(group));
             }
             Formula::KnowsAt(i, stamp, a) => {
-                self.check_agent(*i);
-                self.check_temporal("K@");
+                self.mark_temporal();
                 self.emit(a, ops)?;
                 ops.push(Op::KnowsAt {
                     agent: i.index() as u32,
@@ -621,8 +690,7 @@ impl Compiler {
                 });
             }
             Formula::EveryoneTs(g, stamp, a) => {
-                self.check_group(g);
-                self.check_temporal("ET");
+                self.mark_temporal();
                 let group = self.group(g);
                 self.emit(a, ops)?;
                 ops.push(Op::EveryoneTs {
@@ -631,8 +699,7 @@ impl Compiler {
                 });
             }
             Formula::CommonTs(g, stamp, a) => {
-                self.check_group(g);
-                self.check_temporal("CT");
+                self.mark_temporal();
                 let group = self.group(g);
                 self.emit(a, ops)?;
                 ops.push(Op::CommonTs {

@@ -455,7 +455,7 @@ mod tests {
         assert_eq!(evaluate(&m, &Formula::ff()).unwrap(), ws(3, &[]));
         let q_impl = Formula::implies(p.clone(), p.clone());
         assert!(is_valid(&m, &q_impl).unwrap());
-        let iff = Formula::iff(p.clone(), Formula::not(p.clone()));
+        let iff = Formula::iff(p.clone(), Formula::not(p));
         assert!(evaluate(&m, &iff).unwrap().is_empty());
     }
 

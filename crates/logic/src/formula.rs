@@ -607,7 +607,7 @@ mod tests {
         assert_eq!(Formula::not(Formula::not(p.clone())), p);
         // Nested conjunction flattens; `true` units drop.
         let f = Formula::and([
-            Formula::and([p.clone(), q.clone()]),
+            Formula::and([p.clone(), q]),
             Formula::tt(),
             Formula::atom("r"),
         ]);

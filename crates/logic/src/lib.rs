@@ -17,8 +17,14 @@
 //!   and the run-temporal operators).
 //! - [`evaluate`]/[`holds_at`]/[`is_valid`] run the model checker;
 //!   [`compile`] lowers a formula once to a flat instruction buffer
-//!   ([`CompiledFormula`]) for repeated evaluation, and [`evaluate_tree`]
-//!   keeps the tree-walking reference semantics.
+//!   ([`CompiledFormula`]) for repeated evaluation ([`EvalCache`] keeps
+//!   compiled+bound formulas across calls), and [`evaluate_tree`] keeps
+//!   the tree-walking reference semantics.
+//! - [`analysis`] lints formulas *before* bind/eval: [`Analyzer`]
+//!   produces typed [`Diagnostics`] (unknown atoms/agents, unbound
+//!   variables, dead subformulas, quotient-safety paths, …) and
+//!   [`simplify`] rewrites formulas into equivalents that compile to
+//!   fewer instructions.
 //! - [`axioms`] turns Proposition 1 (S5), the fixed-point axiom C1, the
 //!   induction rule C2, and Lemma 2 into executable checks.
 //!
@@ -49,6 +55,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analysis;
 pub mod axioms;
 mod compile;
 mod eval;
@@ -58,7 +65,8 @@ pub mod temporal;
 
 mod parser;
 
-pub use compile::{compile, Bound, CompiledFormula};
+pub use analysis::{simplify, Analyzer, DiagKind, Diagnostic, Diagnostics, Facts, Severity};
+pub use compile::{compile, Bound, CompiledFormula, EvalCache};
 pub use eval::{evaluate, evaluate_tree, holds_at, is_valid, EvalError};
 pub use formula::{Formula, F};
 pub use frame::{AtomTable, Frame, TemporalStructure};

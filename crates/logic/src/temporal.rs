@@ -378,7 +378,7 @@ mod tests {
         let grp = AgentGroup::all(2);
         let k0 = ws(3, &[2]);
         let k1 = ws(3, &[1]);
-        let out = everyone_ts_set(&g, &grp, 2, &[k0.clone(), k1.clone()]);
+        let out = everyone_ts_set(&g, &grp, 2, &[k0.clone(), k1]);
         assert!(out.is_full());
         // Move agent 1's knowledge off its stamp-2 point: fails.
         let out = everyone_ts_set(&g, &grp, 2, &[k0, ws(3, &[2])]);

@@ -100,9 +100,7 @@ fn e8_cev_strictly_weaker_than_ceps() {
         .build();
     let fact = Formula::atom("sent");
     let cev = isys.eval(&Formula::common_ev(g2(), fact.clone())).unwrap();
-    let ceps = isys
-        .eval(&Formula::common_eps(g2(), 1, fact.clone()))
-        .unwrap();
+    let ceps = isys.eval(&Formula::common_eps(g2(), 1, fact)).unwrap();
     assert!(!cev.is_empty(), "C^◇ sent attained on the reliable channel");
     assert!(ceps.is_empty(), "C^1 sent still unattainable (Theorem 11)");
     assert!(ceps.is_subset(&cev));

@@ -35,7 +35,7 @@ proptest! {
             ModalOp::Knows(AgentId::new(0)),
             ModalOp::Knows(AgentId::new(m.num_agents() - 1)),
             ModalOp::Distributed(g.clone()),
-            ModalOp::Common(g.clone()),
+            ModalOp::Common(g),
         ] {
             let rep = check_s5(&m, &op, &suite);
             prop_assert!(rep.is_s5(), "{op:?}: {rep:?}");

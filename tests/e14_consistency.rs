@@ -60,7 +60,7 @@ fn family(slots: u64) -> InterpretedSystem {
 fn eager_beliefs(isys: &InterpretedSystem) -> BeliefAssignment {
     BeliefAssignment::from_predicates(
         isys,
-        vec![
+        &[
             Box::new(|run: &halpern_moses::runs::Run, t: u64| {
                 run.proc(a(0)).events_before(t).count() > 0
             }),

@@ -70,7 +70,7 @@ fn lambda_view_collapses_everything_valid_to_common_knowledge() {
     let g = AgentGroup::all(2);
     // `sent -> sent` is valid, so it is common knowledge under Λ.
     let f = Formula::common(
-        g.clone(),
+        g,
         Formula::implies(Formula::atom("sent"), Formula::atom("sent")),
     );
     assert!(isys.valid(&f).unwrap());

@@ -27,7 +27,7 @@ fn generals_points_compress_and_answers_agree() {
             Formula::knows(AgentId::new(1), Formula::atom("dispatched")),
         ),
         Formula::everyone_k(g.clone(), 2, Formula::atom("dispatched")),
-        Formula::common(g.clone(), Formula::atom("dispatched")),
+        Formula::common(g, Formula::atom("dispatched")),
     ] {
         let on_full = evaluate(model, &f).unwrap();
         let on_min = evaluate(&min.model, &f).unwrap();

@@ -47,7 +47,7 @@ fn static_formula() -> impl Strategy<Value = F> {
                 "X",
                 Formula::everyone(g2(), Formula::and([a, Formula::var("X")]))
             )),
-            inner.clone().prop_map(|a| Formula::lfp(
+            inner.prop_map(|a| Formula::lfp(
                 "X",
                 Formula::or([a, Formula::someone(g2(), Formula::var("X"))])
             )),
@@ -74,7 +74,7 @@ fn temporal_formula() -> impl Strategy<Value = F> {
                 a
             )),
             (0u64..6, inner.clone()).prop_map(|(t, a)| Formula::everyone_ts(g2(), t, a)),
-            (0u64..6, inner.clone()).prop_map(|(t, a)| Formula::common_ts(g2(), t, a)),
+            (0u64..6, inner).prop_map(|(t, a)| Formula::common_ts(g2(), t, a)),
         ]
     })
 }

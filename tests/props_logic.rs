@@ -35,9 +35,7 @@ fn formula_strategy() -> impl Strategy<Value = F> {
             inner
                 .clone()
                 .prop_map(|a| Formula::distributed(AgentGroup::all(2), a)),
-            inner
-                .clone()
-                .prop_map(|a| Formula::common(AgentGroup::all(2), a)),
+            inner.prop_map(|a| Formula::common(AgentGroup::all(2), a)),
         ]
     })
 }
@@ -149,7 +147,7 @@ fn formula_sharing_is_cheap() {
     // Arc sharing: a deeply nested formula reuses subterms without
     // cloning them (structural identity check).
     let base = Formula::atom("q0");
-    let f = Formula::and([base.clone(), base.clone()]);
+    let f = Formula::and([base.clone(), base]);
     match &*f {
         Formula::And(parts) => {
             assert!(Arc::ptr_eq(&parts[0], &parts[1]));
@@ -220,9 +218,7 @@ fn positive_context() -> impl Strategy<Value = F> {
                 .clone()
                 .prop_map(|a| Formula::distributed(AgentGroup::all(2), a)),
             // Negative material only in the antecedent-free spots:
-            inner
-                .clone()
-                .prop_map(|a| Formula::implies(Formula::atom("q0"), a)),
+            inner.prop_map(|a| Formula::implies(Formula::atom("q0"), a)),
         ]
     })
 }
