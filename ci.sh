@@ -37,6 +37,23 @@ cargo run --release -q -p hm-bench --bin hm -- ask "agreement:n=3,f=1" "C{0,1,2}
 # clean against its declared surface (exit 1 on any diagnostic).
 cargo run --release -q -p hm-bench --bin hm -- check --catalog
 
+# Resource-governance smoke: a run budget that is too small must exit 3
+# (the dedicated limit code) with a one-line diagnostic, and --partial
+# must degrade to a three-valued verdict (exit 0, "unknown" in output)
+# instead of failing.
+HM="cargo run --release -q -p hm-bench --bin hm --"
+code=0; out=$($HM ask "agreement:n=4,f=2" "C{0,1,2,3} min0" --max-runs 100 2>&1) || code=$?
+test "$code" -eq 3
+test "$(printf '%s\n' "$out" | wc -l)" -eq 1
+code=0; out=$($HM ask "agreement:n=4,f=2" "C{0,1,2,3} min0" --max-runs 100 --partial --show 0) || code=$?
+test "$code" -eq 0
+printf '%s\n' "$out" | grep -q "unknown"
+
+# Fault injection: the failpoint suites force exhaustion, cancellation
+# and worker death at every governed phase boundary.
+cargo test -q -p hm-engine --features failpoints --test failpoints
+cargo test -q -p hm-netsim --features failpoints --test failpoints
+
 # Bench smoke: every benchmark runs once (1 sample x 1 iter, no summary
 # file written), so bench code cannot bit-rot without failing CI.
 HM_CRITERION_SMOKE=1 cargo bench -p hm-bench

@@ -1,0 +1,68 @@
+//! Cost of resource governance: a generous budget (every check taken,
+//! none ever fires) vs the unlimited shortcut, on frame construction
+//! and on compiled evaluation — the two places a `Budget` is consulted
+//! per unit of work rather than once per call.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hm_engine::{Engine, Limits, Query};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// Ceilings far above what the benched frames use, plus a deadline that
+/// cannot expire: the full check machinery runs, nothing ever fires.
+fn generous() -> Limits {
+    Limits::none()
+        .max_runs(1 << 20)
+        .max_worlds(1 << 24)
+        .timeout(Duration::from_secs(3600))
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("limits_build");
+    group.bench_function("agreement_unlimited", |b| {
+        b.iter(|| black_box(Engine::for_scenario("agreement:n=3,f=1").build().unwrap()))
+    });
+    group.bench_function("agreement_governed", |b| {
+        b.iter(|| {
+            black_box(
+                Engine::for_scenario("agreement:n=3,f=1")
+                    .limits(generous())
+                    .build()
+                    .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("limits_eval");
+    // A fixpoint query: `Op::Fix` flushes the budget every iteration
+    // (`check_now`), the worst case for check overhead.
+    let fix = Query::parse("nu X. min0 & E{0,1,2} $X").unwrap();
+    // A straight-line query: only the amortised per-instruction tick.
+    let line = Query::parse("C{0,1,2} min0 | K0 !decided0").unwrap();
+    let mut free = Engine::for_scenario("agreement:n=3,f=1").build().unwrap();
+    let mut governed = Engine::for_scenario("agreement:n=3,f=1")
+        .limits(generous())
+        .build()
+        .unwrap();
+    for (q, name) in [(&fix, "fixpoint"), (&line, "straight_line")] {
+        free.satisfying(q).unwrap(); // compile + bind outside the loop
+        governed.satisfying(q).unwrap();
+        group.bench_function(&format!("{name}_unlimited"), |b| {
+            b.iter(|| black_box(free.satisfying(q).unwrap()))
+        });
+        group.bench_function(&format!("{name}_governed"), |b| {
+            b.iter(|| black_box(governed.satisfying(q).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_build, bench_eval
+}
+criterion_main!(benches);

@@ -7,5 +7,9 @@
 
 fn main() {
     let requested: Vec<String> = std::env::args().skip(1).collect();
-    hm_bench::experiments::run(&requested);
+    // Ungoverned: resource flags live on `hm exp`.
+    if let Err(e) = hm_bench::experiments::run(&requested, &hm_engine::Limits::none()) {
+        eprintln!("{e}");
+        std::process::exit(1);
+    }
 }

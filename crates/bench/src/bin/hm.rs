@@ -17,7 +17,16 @@
 //! --minimize     answer quotient-safe queries on the bisimulation quotient
 //! --parallel     enumerate adversary branches on threads
 //! --show N       list at most N satisfying points (default 10; 0 = none)
+//! --max-runs N   cap enumerated runs (exceeding exits 3)
+//! --max-worlds N cap interpreted-system points (exceeding exits 3)
+//! --timeout S    wall-clock budget in seconds, fractions allowed
+//! --partial      degrade instead of failing: a run budget or deadline
+//!                hit truncates the frame and the verdict turns
+//!                three-valued (definitely / possibly / unknown)
 //! ```
+//!
+//! `exp` accepts the same resource options (`--max-runs`,
+//! `--max-worlds`, `--timeout`), applied to every frame it builds.
 //!
 //! `check` lints a formula against the scenario's declared *surface*
 //! (vocabulary, agent count, temporal capability, horizon) without
@@ -38,9 +47,11 @@
 //! ```
 //!
 //! Exit codes: 0 = success, 1 = evaluation error (`ask`) or any
-//! diagnostic (`check`), 2 = usage/spec/parse error.
+//! diagnostic (`check`), 2 = usage/spec/parse error, 3 = a resource
+//! limit (run/world budget, deadline, cancellation) was exceeded.
 
-use hm_engine::{check_spec, Engine, EngineError, Query, Scenario, ScenarioRegistry};
+use hm_engine::{check_spec, Engine, EngineError, Limits, Query, Scenario, ScenarioRegistry};
+use std::time::Duration;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -53,10 +64,7 @@ fn main() {
         Some("describe") => describe(&args[1..]),
         Some("check") => check(&args[1..]),
         Some("ask") => ask(&args[1..]),
-        Some("exp") => {
-            hm_bench::experiments::run(&args[1..]);
-            0
-        }
+        Some("exp") => exp(&args[1..]),
         Some(other) => {
             eprintln!("unknown command `{other}` (try `hm help`)");
             2
@@ -81,6 +89,17 @@ ask options:
   --minimize     answer quotient-safe queries on the bisimulation quotient
   --parallel     enumerate adversary branches on threads
   --show N       list at most N satisfying points (default 10; 0 = none)
+  --max-runs N   cap enumerated runs; exceeding the cap exits 3
+  --max-worlds N cap interpreted-system points; exceeding exits 3
+  --timeout S    wall-clock budget in seconds (fractions allowed)
+  --partial      degrade instead of failing: a run budget or deadline hit
+                 truncates the frame and the verdict turns three-valued
+                 (definitely / possibly / unknown)
+
+exp options:
+  --max-runs N / --max-worlds N / --timeout S
+                 as for ask, applied to every frame the driver builds
+                 (the deadline re-anchors per build)
 
 check options:
   --json         print the full report as one JSON object
@@ -91,7 +110,7 @@ check options:
   --catalog      lint every registered scenario's example query instead
 
 exit codes: 0 = clean, 1 = diagnostics reported (check) or evaluation
-error (ask), 2 = usage/spec/parse error
+error (ask), 2 = usage/spec/parse error, 3 = resource limit exceeded
 
 a <spec> is name:key=value,... e.g. generals, agreement:n=3,f=1,
 muddy:n=6,dirty=3, r2d2:eps=3 — see `hm list` and SCENARIOS.md.
@@ -269,28 +288,58 @@ fn check_catalog(horizon: Option<u64>, minimize: bool) -> i32 {
     i32::from(dirty > 0)
 }
 
+/// Report a build/evaluation failure: typed resource-limit errors exit
+/// 3 so scripts can tell "over budget" from "query is broken" (1).
+fn fail(e: &EngineError) -> i32 {
+    eprintln!("{e}");
+    if e.limit().is_some() {
+        3
+    } else {
+        1
+    }
+}
+
+/// Parse `--timeout`'s argument: non-negative finite seconds, fractions
+/// allowed (`0.25` = 250 ms).
+fn parse_timeout(arg: Option<&String>) -> Option<Duration> {
+    arg.and_then(|v| v.parse::<f64>().ok())
+        .filter(|s| s.is_finite() && *s >= 0.0)
+        .map(Duration::from_secs_f64)
+}
+
 fn ask(args: &[String]) -> i32 {
     let mut horizon: Option<u64> = None;
     let mut minimize = false;
     let mut parallel = false;
+    let mut partial = false;
     let mut show: usize = 10;
+    let mut limits = Limits::none();
     let mut positional: Vec<&String> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--horizon" | "--show" => {
+            "--horizon" | "--show" | "--max-runs" | "--max-worlds" => {
                 let Some(value) = it.next().and_then(|v| v.parse::<u64>().ok()) else {
                     eprintln!("{arg} needs an integer argument");
                     return 2;
                 };
-                if arg == "--horizon" {
-                    horizon = Some(value);
-                } else {
-                    show = value as usize;
+                match arg.as_str() {
+                    "--horizon" => horizon = Some(value),
+                    "--show" => show = value as usize,
+                    "--max-runs" => limits = limits.max_runs(value),
+                    _ => limits = limits.max_worlds(value),
                 }
+            }
+            "--timeout" => {
+                let Some(d) = parse_timeout(it.next()) else {
+                    eprintln!("--timeout needs a non-negative number of seconds");
+                    return 2;
+                };
+                limits = limits.timeout(d);
             }
             "--minimize" => minimize = true,
             "--parallel" => parallel = true,
+            "--partial" => partial = true,
             other if other.starts_with("--") => {
                 eprintln!("unknown option `{other}` (try `hm help`)");
                 return 2;
@@ -312,7 +361,8 @@ fn ask(args: &[String]) -> i32 {
     };
     let mut engine = Engine::for_scenario(spec)
         .minimize(minimize)
-        .parallel_enumeration(parallel);
+        .parallel_enumeration(parallel)
+        .limits(limits.allow_partial(partial));
     if let Some(h) = horizon {
         engine = engine.horizon(h);
     }
@@ -322,24 +372,46 @@ fn ask(args: &[String]) -> i32 {
             eprintln!("{e}");
             return 2;
         }
-        Err(e) => {
-            eprintln!("{e}");
-            return 1;
-        }
+        Err(e) => return fail(&e),
     };
-    let verdict = match session.ask(&query) {
-        Ok(v) => v,
-        Err(e) => {
-            eprintln!("{e}");
-            return 1;
-        }
-    };
-
     let kind = if session.interpreted().is_some() {
         "points"
     } else {
         "worlds"
     };
+
+    // A truncated frame (only reachable with --partial) cannot answer
+    // two-valued queries; report the three-valued verdict instead.
+    if session.is_partial() {
+        let pv = match session.ask_partial(&query) {
+            Ok(v) => v,
+            Err(e) => return fail(&e),
+        };
+        println!("scenario: {spec}");
+        println!("formula:  {query}");
+        println!("frame:    partial (budget hit; verdict is three-valued)");
+        println!(
+            "definitely {} / possibly {} / unknown {} of {} {kind}",
+            pv.definitely().count(),
+            pv.possibly().count(),
+            pv.unknown_count(),
+            session.num_worlds()
+        );
+        for w in pv.definitely().iter().take(show) {
+            println!("  {}", session.world_name(w));
+        }
+        let shown = pv.definitely().count().min(show);
+        if pv.definitely().count() > shown && shown > 0 {
+            println!("  … ({} more)", pv.definitely().count() - shown);
+        }
+        return 0;
+    }
+
+    let verdict = match session.ask(&query) {
+        Ok(v) => v,
+        Err(e) => return fail(&e),
+    };
+
     println!("scenario: {spec}");
     println!("formula:  {query}");
     println!(
@@ -361,4 +433,41 @@ fn ask(args: &[String]) -> i32 {
         println!("  … ({} more)", verdict.count() - show);
     }
     0
+}
+
+fn exp(args: &[String]) -> i32 {
+    let mut limits = Limits::none();
+    let mut names: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--max-runs" | "--max-worlds" => {
+                let Some(value) = it.next().and_then(|v| v.parse::<u64>().ok()) else {
+                    eprintln!("{arg} needs an integer argument");
+                    return 2;
+                };
+                limits = if arg == "--max-runs" {
+                    limits.max_runs(value)
+                } else {
+                    limits.max_worlds(value)
+                };
+            }
+            "--timeout" => {
+                let Some(d) = parse_timeout(it.next()) else {
+                    eprintln!("--timeout needs a non-negative number of seconds");
+                    return 2;
+                };
+                limits = limits.timeout(d);
+            }
+            other if other.starts_with("--") => {
+                eprintln!("unknown option `{other}` (try `hm help`)");
+                return 2;
+            }
+            _ => names.push(arg.clone()),
+        }
+    }
+    match hm_bench::experiments::run(&names, &limits) {
+        Ok(()) => 0,
+        Err(e) => fail(&e),
+    }
 }

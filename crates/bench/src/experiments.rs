@@ -17,7 +17,9 @@
 //! checks, puzzle dynamics) consume the session's interpreted system or
 //! model.
 
-use hm_core::agreement::{agreement_system, check_safety, ck_onset_in_clean_run, AgreementSpec};
+use hm_core::agreement::{
+    agreement_system_budgeted, check_safety, ck_onset_in_clean_run, AgreementSpec,
+};
 use hm_core::attain::{
     check_ck_run_constant, check_ck_twin_invariance, check_proposition13, ck_set,
     initial_point_reachable_everywhere,
@@ -37,7 +39,7 @@ use hm_core::variants::{
     check_theorem12a, check_theorem12b, check_theorem12c, check_theorem9, check_variant_hierarchy,
     conjunction_gap,
 };
-use hm_engine::{Engine, Query, Session};
+use hm_engine::{Engine, EngineError, Limits, Query, Session};
 use hm_kripke::{AgentGroup, AgentId, WorldSet};
 use hm_logic::axioms::{
     check_fixed_point_axiom, check_induction_rule, check_lemma2, check_s5, sample_sets, ModalOp,
@@ -55,10 +57,24 @@ pub const NAMES: [&str; 18] = [
 /// Runs the requested experiments (all of them when `requested` is
 /// empty), printing each series under a `==== En ====` header. Names
 /// that match nothing are silently skipped.
-pub fn run(requested: &[String]) {
+///
+/// Every engine build is governed by `limits` (pass
+/// [`Limits::none()`] for the classic ungoverned driver). The deadline
+/// is re-anchored per build, so a `--timeout` bounds each frame
+/// construction, not the whole sweep.
+///
+/// # Errors
+///
+/// The first [`EngineError`] an experiment hits — in particular
+/// [`EngineError::LimitExceeded`] when a resource budget fires.
+/// One experiment body: prints its table, builds frames under the
+/// given limits.
+type Experiment = fn(&Limits) -> Result<(), EngineError>;
+
+pub fn run(requested: &[String], limits: &Limits) -> Result<(), EngineError> {
     let want = |name: &str| requested.is_empty() || requested.iter().any(|r| r == name);
 
-    let experiments: &[(&str, fn())] = &[
+    let experiments: &[(&str, Experiment)] = &[
         ("E1", e1),
         ("E2", e2),
         ("E3", e3),
@@ -81,22 +97,25 @@ pub fn run(requested: &[String]) {
     for (name, run) in experiments {
         if want(name) {
             println!("==== {name} ====");
-            run();
+            run(limits)?;
             println!();
         }
     }
+    Ok(())
 }
 
 fn g2() -> AgentGroup {
     AgentGroup::all(2)
 }
 
+/// A registry engine with the driver's resource limits attached.
+fn governed(spec: impl Into<String>, limits: &Limits) -> Engine {
+    Engine::for_scenario(spec).limits(limits.clone())
+}
+
 /// The generals' scenario through the engine.
-fn generals_session(horizon: u64) -> Session {
-    Engine::for_scenario("generals")
-        .horizon(horizon)
-        .build()
-        .expect("generals scenario")
+fn generals_session(horizon: u64, limits: &Limits) -> Result<Session, EngineError> {
+    governed("generals", limits).horizon(horizon).build()
 }
 
 /// The session's interpreted system (every experiment frame has runs).
@@ -105,13 +124,11 @@ fn isys(session: &Session) -> &InterpretedSystem {
 }
 
 /// Satisfying set of a formula, via the session's compiled-query cache.
-fn sat(session: &mut Session, f: &F) -> WorldSet {
-    session
-        .satisfying(&Query::new(f.clone()))
-        .expect("well-formed")
+fn sat(session: &mut Session, f: &F) -> Result<WorldSet, EngineError> {
+    session.satisfying(&Query::new(f.clone()))
 }
 
-fn e1() {
+fn e1(_limits: &Limits) -> Result<(), EngineError> {
     println!("muddy children: first all-yes round vs k (paper: round k)");
     println!(
         "n\\k {}",
@@ -133,9 +150,10 @@ fn e1() {
         "without announcement, any yes ever (n=6, all masks): {}",
         !silent
     );
+    Ok(())
 }
 
-fn e2() {
+fn e2(_limits: &Limits) -> Result<(), EngineError> {
     let p = MuddyChildren::new(6);
     let h = hierarchy(p.model(), &p.group(), &p.m_set(), 5);
     println!("hierarchy denotation sizes on muddy children n=6 (fact m):");
@@ -150,10 +168,11 @@ fn e2() {
         .collect::<Vec<_>>()
         .join(" ");
     println!("adjacent relations (weak side first): {strict}");
+    Ok(())
 }
 
-fn e3() {
-    let session = generals_session(10);
+fn e3(limits: &Limits) -> Result<(), EngineError> {
+    let session = generals_session(10, limits)?;
     println!("generals: interleaved knowledge depth after d deliveries (paper: depth = d)");
     // One cache across the delivery sweep: ladder level `cand` is compiled
     // and bound once, not once per `d`.
@@ -164,10 +183,11 @@ fn e3() {
             ladder_depth_at_end_cached(isys(&session), d, 9, &mut cache)
         );
     }
+    Ok(())
 }
 
-fn e4() {
-    let session = generals_session(8);
+fn e4(limits: &Limits) -> Result<(), EngineError> {
+    let session = generals_session(8, limits)?;
     println!(
         "NG1 holds: {}, NG2 holds: {}",
         conditions::check_ng1(session.system().unwrap()).is_none(),
@@ -209,13 +229,12 @@ fn e4() {
     println!(
         "  unsafe: {unsafe_ct}, attacks-without-plan: {inadmissible}, never-attacks: {silent}, coordinated: 0"
     );
+    Ok(())
 }
 
-fn e5() {
+fn e5(limits: &Limits) -> Result<(), EngineError> {
     // Theorem 7 under unbounded delivery.
-    let session = Engine::for_scenario("generals-unbounded:horizon=7")
-        .build()
-        .unwrap();
+    let session = governed("generals-unbounded:horizon=7", limits).build()?;
     println!(
         "NG1' holds: {}, NG2 holds: {}",
         conditions::check_ng1_prime(session.system().unwrap()).is_none(),
@@ -229,12 +248,15 @@ fn e5() {
             .len(),
         ck_set(isys(&session), &g2(), &fact).unwrap().count()
     );
+    Ok(())
 }
 
-fn e6() {
+fn e6(limits: &Limits) -> Result<(), EngineError> {
     for eps in [2u64, 3] {
         let (builder, meta) = r2d2_parts(eps, 4, 4, R2d2Mode::Uncertain);
-        let session = Engine::from_system(builder).build().unwrap();
+        let session = Engine::from_system(builder)
+            .limits(limits.clone())
+            .build()?;
         // Caches are frame-tied: each session gets its own.
         let mut cache = EvalCache::new();
         let onsets = ladder_onsets_cached(isys(&session), &meta, 3, &mut cache).unwrap();
@@ -246,7 +268,9 @@ fn e6() {
         println!("  (paper: t_S + k*eps, +1 comprehension tick)");
     }
     let (builder, _meta) = r2d2_parts(2, 4, 4, R2d2Mode::Uncertain);
-    let session = Engine::from_system(builder).build().unwrap();
+    let session = Engine::from_system(builder)
+        .limits(limits.clone())
+        .build()?;
     let mut cache = EvalCache::new();
     let ck = ck_sent_cached(isys(&session), &mut cache).unwrap();
     let last_send = 8 * 2;
@@ -266,7 +290,9 @@ fn e6() {
         (R2d2Mode::Timestamped, "sent_focus"),
     ] {
         let (builder, meta) = r2d2_parts(2, 3, 3, mode);
-        let session = Engine::from_system(builder).build().unwrap();
+        let session = Engine::from_system(builder)
+            .limits(limits.clone())
+            .build()?;
         let mut cache = EvalCache::new();
         let f = Formula::common(g2(), Formula::atom(atom));
         let onset = first_time_cached(isys(&session), meta.focus_slow, &f, &mut cache).unwrap();
@@ -276,12 +302,11 @@ fn e6() {
             meta.ts + meta.eps
         );
     }
+    Ok(())
 }
 
-fn e7() {
-    let session = Engine::for_scenario("uncertain-start:horizon=6")
-        .build()
-        .unwrap();
+fn e7(limits: &Limits) -> Result<(), EngineError> {
+    let session = governed("uncertain-start:horizon=6", limits).build()?;
     let all_reachable = session
         .system()
         .unwrap()
@@ -296,20 +321,19 @@ fn e7() {
             .len(),
         ck_set(isys(&session), &g2(), &fact).unwrap().count()
     );
-    let mut gc = Engine::for_scenario("uncertain-start:horizon=8,global_clock=true")
-        .build()
-        .unwrap();
+    let mut gc = governed("uncertain-start:horizon=8,global_clock=true", limits).build()?;
     let f = Formula::common(g2(), Formula::atom("five_oclock"));
-    let ckset = sat(&mut gc, &f);
+    let ckset = sat(&mut gc, &f)?;
     println!(
         "global clock contrast: temporal imprecision holds: {}, C(five_oclock) points: {}",
         conditions::check_temporal_imprecision(gc.system().unwrap()).is_none(),
         ckset.count()
     );
+    Ok(())
 }
 
-fn e8() {
-    let session = generals_session(8);
+fn e8(limits: &Limits) -> Result<(), EngineError> {
+    let session = generals_session(8, limits)?;
     let fact = Formula::atom("dispatched");
     println!(
         "variant hierarchy C ⊆ C^1 ⊆ C^2 ⊆ C^3 ⊆ C^◇ violations: {:?}",
@@ -325,10 +349,11 @@ fn e8() {
             check_induction_rule(isys(&session), &op, &suite).is_none()
         );
     }
+    Ok(())
 }
 
-fn e9() {
-    let session = generals_session(8);
+fn e9(limits: &Limits) -> Result<(), EngineError> {
+    let session = generals_session(8, limits)?;
     let fact = Formula::atom("dispatched");
     for eps in [Some(1u64), None] {
         let out = check_theorem9(isys(&session), &g2(), &fact, eps).unwrap();
@@ -339,10 +364,10 @@ fn e9() {
             out.violation
         );
     }
-    let mut ok = Engine::for_scenario("ok:horizon=8").build().unwrap();
+    let mut ok = governed("ok:horizon=8", limits).build()?;
     let psi = Formula::atom("psi");
-    let ceps = sat(&mut ok, &Formula::common_eps(g2(), 1, psi.clone()));
-    let psi_set = sat(&mut ok, &psi);
+    let ceps = sat(&mut ok, &Formula::common_eps(g2(), 1, psi.clone()))?;
+    let psi_set = sat(&mut ok, &psi)?;
     let (full, run) = ok
         .system()
         .unwrap()
@@ -358,24 +383,24 @@ fn e9() {
         ceps.difference(&psi_set).count(),
         clean_ceps
     );
+    Ok(())
 }
 
-fn e10() {
-    let session = generals_session(10);
+fn e10(limits: &Limits) -> Result<(), EngineError> {
+    let session = generals_session(10, limits)?;
     let fact = Formula::atom("dispatched");
     println!("run: (E^◇)^k depth at t=0 vs C^◇ at t=0");
     for (rid, depth, cev) in conjunction_gap(isys(&session), &g2(), &fact, 5).unwrap() {
         let name = &session.system().unwrap().run(rid).name;
         println!("  {name:<32} depth {depth}  C^◇ {cev}");
     }
+    Ok(())
 }
 
-fn e11() {
+fn e11(limits: &Limits) -> Result<(), EngineError> {
     let mut agree = true;
     for seed in 0..20u64 {
-        let session = Engine::for_scenario(format!("random:seed={seed}"))
-            .build()
-            .unwrap();
+        let session = governed(format!("random:seed={seed}"), limits).build()?;
         let m = session.kripke().unwrap();
         let g = AgentGroup::all(m.num_agents());
         let fact = Frame::atom_set(m, "q0").unwrap();
@@ -389,43 +414,39 @@ fn e11() {
     }
     println!("nu X.E(phi ∧ X) == ⋀_k E^k phi on 20 random models: {agree}");
     println!("E^◇ discontinuity: see E10 (conjunction holds to depth k, gfp empty)");
+    Ok(())
 }
 
-fn e12() {
+fn e12(limits: &Limits) -> Result<(), EngineError> {
     let fact = Formula::atom("sent_v");
-    let sync = Engine::for_scenario("skewed:horizon=10,skew=0")
-        .build()
-        .unwrap();
+    let sync = governed("skewed:horizon=10,skew=0", limits).build()?;
     println!(
         "Thm 12(a) sync clocks, stamps 3/5/8 counterexamples: {:?} {:?} {:?}",
         check_theorem12a(isys(&sync), &g2(), &fact, 3).unwrap(),
         check_theorem12a(isys(&sync), &g2(), &fact, 5).unwrap(),
         check_theorem12a(isys(&sync), &g2(), &fact, 8).unwrap()
     );
-    let mut skewed = Engine::for_scenario("skewed:horizon=10,skew=2")
-        .build()
-        .unwrap();
+    let mut skewed = governed("skewed:horizon=10,skew=2", limits).build()?;
     println!(
         "Thm 12(b) skew 2, stamp 6: {:?} | Thm 12(c) stamp 7: {:?}",
         check_theorem12b(isys(&skewed), &g2(), &fact, 6, 2).unwrap(),
         check_theorem12c(isys(&skewed), &g2(), &fact, 7).unwrap()
     );
-    let late = sat(&mut skewed, &Formula::common_ts(g2(), 7, fact.clone()));
-    let early = sat(&mut skewed, &Formula::common_ts(g2(), 1, fact));
+    let late = sat(&mut skewed, &Formula::common_ts(g2(), 7, fact.clone()))?;
+    let early = sat(&mut skewed, &Formula::common_ts(g2(), 1, fact))?;
     println!(
         "C^T attainment with skewed clocks: stamp 7 full: {}, stamp 1 empty: {}",
         late.is_full(),
         early.is_empty()
     );
+    Ok(())
 }
 
-fn e13() {
+fn e13(limits: &Limits) -> Result<(), EngineError> {
     let mut all_s5 = true;
     let mut all_c1c2 = true;
     for seed in 0..25u64 {
-        let session = Engine::for_scenario(format!("random:seed={seed}"))
-            .build()
-            .unwrap();
+        let session = governed(format!("random:seed={seed}"), limits).build()?;
         let m = session.kripke().unwrap();
         let suite = sample_sets(m, &["q0", "q1"], 5, seed);
         let g = AgentGroup::all(m.num_agents());
@@ -442,10 +463,11 @@ fn e13() {
     }
     println!("Proposition 1 (S5 for K, D, C) on 25 random models: {all_s5}");
     println!("C1 + C2 + Lemma 2 on 25 random models: {all_c1c2}");
+    Ok(())
 }
 
-fn e14() {
-    let session = Engine::for_scenario("consistency").build().unwrap();
+fn e14(limits: &Limits) -> Result<(), EngineError> {
+    let session = governed("consistency", limits).build()?;
     let fact = Frame::atom_set(isys(&session), "both_aware").unwrap();
     let beliefs = BeliefAssignment::from_predicates(
         isys(&session),
@@ -469,12 +491,11 @@ fn e14() {
         ),
         IkcOutcome::Inconsistent => println!("internally consistent: NO (unexpected)"),
     }
+    Ok(())
 }
 
-fn e15() {
-    let session = Engine::for_scenario("deadlock:n=3,horizon=12")
-        .build()
-        .unwrap();
+fn e15(limits: &Limits) -> Result<(), EngineError> {
+    let session = governed("deadlock:n=3,horizon=12", limits).build()?;
     println!("wait-for graph -> (D, S, E onsets), C^T stamp");
     for targets in [[1u64, 2, 0], [1, 0, 3], [2, 0, 3], [1, 2, 3]] {
         let traj = discovery_trajectory(isys(&session), &targets).unwrap();
@@ -492,28 +513,28 @@ fn e15() {
             stamp
         );
     }
+    Ok(())
 }
 
-fn e16() {
-    let view = |v: &str| -> Session {
-        Engine::for_scenario(format!("views:view={v}"))
-            .build()
-            .unwrap()
+fn e16(limits: &Limits) -> Result<(), EngineError> {
+    let view = |v: &str| -> Result<Session, EngineError> {
+        governed(format!("views:view={v}"), limits).build()
     };
-    let mut full = view("complete");
-    let mut forgetful = view("last-event");
-    let mut lambda = view("lambda");
+    let mut full = view("complete")?;
+    let mut forgetful = view("last-event")?;
+    let mut lambda = view("lambda")?;
     let k = Formula::knows(AgentId::new(0), Formula::atom("sent_twice"));
     println!(
         "K0(sent_twice) points — complete-history: {}, last-event: {}, lambda: {}",
-        sat(&mut full, &k).count(),
-        sat(&mut forgetful, &k).count(),
-        sat(&mut lambda, &k).count()
+        sat(&mut full, &k)?.count(),
+        sat(&mut forgetful, &k)?.count(),
+        sat(&mut lambda, &k)?.count()
     );
     println!("(finest view knows most; lambda knows only valid facts)");
+    Ok(())
 }
 
-fn e17() {
+fn e17(_limits: &Limits) -> Result<(), EngineError> {
     let n = 4;
     let p = MuddyChildren::new(n);
     let sets: Vec<WorldSet> = (0..n).map(|i| p.muddy_set(i)).collect();
@@ -535,17 +556,18 @@ fn e17() {
         "sequential variant (children 0,1 muddy): first yes at turn {:?} by child 1 (answer order carries information)",
         trace.first_positive_round()
     );
+    Ok(())
 }
 
-fn e18() {
+fn e18(limits: &Limits) -> Result<(), EngineError> {
     let spec = AgreementSpec { n: 3, f: 1 };
-    let system = agreement_system(spec);
+    let system = agreement_system_budgeted(spec, &limits.budget())?;
     let report = check_safety(&system);
     println!(
         "crash-failure EA, n=3 f=1: {} runs, agreement violations {}, validity violations {}",
         report.runs, report.agreement_violations, report.validity_violations
     );
-    let session = Engine::for_scenario("agreement:n=3,f=1").build().unwrap();
+    let session = governed("agreement:n=3,f=1", limits).build()?;
     for inputs in [0b110u64, 0b010, 0b000] {
         println!(
             "  inputs {:03b}: C(decision) onset t={:?} (end of round f+1 = 3)",
@@ -553,4 +575,5 @@ fn e18() {
             ck_onset_in_clean_run(isys(&session), inputs).unwrap()
         );
     }
+    Ok(())
 }

@@ -24,6 +24,7 @@
 //! f = 2`: 3 752; `n = 4, f = 2`: ~57k).
 
 use hm_kripke::{AgentGroup, AgentId};
+use hm_limits::{Admission, Budget, LimitExceeded, Phase, Resource};
 use hm_logic::{EvalError, Formula};
 use hm_runs::{CompleteHistory, Event, InterpretedSystem, Message, RunBuilder, System};
 
@@ -70,6 +71,31 @@ type CrashPattern = Vec<Crash>;
 /// `spec.n > spec.f` (the implemented range; the structure generalises
 /// but enumeration grows fast).
 pub fn agreement_system(spec: AgreementSpec) -> System {
+    agreement_system_budgeted(spec, &Budget::unlimited())
+        .expect("unlimited budget cannot be exceeded")
+}
+
+/// [`agreement_system`] under a resource [`Budget`]: each run is admitted
+/// against the budget's run ceiling before it is executed, and deadlines
+/// and cancellation are checked at the same granularity. Under a strict
+/// budget exhaustion is a typed [`LimitExceeded`]; under
+/// [`hm_limits::Limits::allow_partial`] the enumeration truncates instead
+/// and the returned [`System`] is flagged
+/// [`is_truncated`](System::is_truncated) (each run present is complete —
+/// truncation drops whole runs only).
+///
+/// # Errors
+///
+/// [`LimitExceeded`] on strict exhaustion, or when a partial budget is so
+/// small that *zero* runs were admitted (a [`System`] cannot be empty).
+///
+/// # Panics
+///
+/// As for [`agreement_system`] on an out-of-range `spec`.
+pub fn agreement_system_budgeted(
+    spec: AgreementSpec,
+    budget: &Budget,
+) -> Result<System, LimitExceeded> {
     assert!(
         (1..=2).contains(&spec.f),
         "this experiment enumerates f in 1..=2"
@@ -117,12 +143,37 @@ pub fn agreement_system(spec: AgreementSpec) -> System {
     }
 
     let mut runs = Vec::new();
-    for inputs in 0..(1u64 << n) {
+    let mut truncated = false;
+    'enumeration: for inputs in 0..(1u64 << n) {
         for pattern in &patterns {
+            // Admission before execution: runs past the ceiling are
+            // never built, and deadline/cancellation are polled here.
+            match budget.admit_run(Phase::Enumerate) {
+                Ok(Admission::Admit) => {}
+                Ok(Admission::Truncate) => {
+                    truncated = true;
+                    break 'enumeration;
+                }
+                Err(e) => return Err(e),
+            }
             runs.push(execute(n, rounds, horizon, inputs, pattern));
         }
     }
-    System::new(runs)
+    if runs.is_empty() {
+        // A zero-run partial budget: report it as the exhaustion it is
+        // rather than panicking in `System::new`.
+        return Err(LimitExceeded {
+            resource: Resource::Runs,
+            phase: Phase::Enumerate,
+            spent: 1,
+            limit: 0,
+        });
+    }
+    let mut system = System::new(runs);
+    if truncated {
+        system.mark_truncated();
+    }
+    Ok(system)
 }
 
 /// Deterministically executes one crash pattern.
@@ -292,8 +343,26 @@ pub fn agreement_interpreted(spec: AgreementSpec) -> InterpretedSystem {
 /// The un-built form of [`agreement_interpreted`], for callers that set
 /// build options (the `hm-engine` scenario registry).
 pub fn agreement_builder(spec: AgreementSpec) -> hm_runs::InterpretedSystemBuilder {
-    let system = agreement_system(spec);
-    let n = spec.n;
+    builder_with_facts(agreement_system(spec), spec.n)
+}
+
+/// [`agreement_builder`] over a budgeted enumeration — see
+/// [`agreement_system_budgeted`] for the strict/partial semantics.
+///
+/// # Errors
+///
+/// As for [`agreement_system_budgeted`].
+pub fn agreement_builder_budgeted(
+    spec: AgreementSpec,
+    budget: &Budget,
+) -> Result<hm_runs::InterpretedSystemBuilder, LimitExceeded> {
+    Ok(builder_with_facts(
+        agreement_system_budgeted(spec, budget)?,
+        spec.n,
+    ))
+}
+
+fn builder_with_facts(system: System, n: usize) -> hm_runs::InterpretedSystemBuilder {
     InterpretedSystem::builder(system, CompleteHistory)
         .fact("min0", move |run, _t| {
             (0..n).any(|i| run.proc(AgentId::new(i)).initial_state == 0)

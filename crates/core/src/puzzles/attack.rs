@@ -13,10 +13,28 @@
 //!   rules, each of which is either unsafe or never attacks.
 
 use hm_kripke::{AgentGroup, AgentId, WorldSet};
+use hm_limits::{Budget, LimitExceeded, Phase, Resource};
 use hm_logic::{EvalCache, Formula, F};
-use hm_netsim::scenarios::{attacks_in, generals_attack_system, generals_system_opts, ACT_ATTACK};
-use hm_netsim::EnumerateError;
+use hm_netsim::scenarios::{
+    attacks_in, generals_attack_system, generals_system_budgeted, generals_system_opts, ACT_ATTACK,
+};
+use hm_netsim::{enumeration_to_system, EnumerateError, Enumeration};
 use hm_runs::{CompleteHistory, Event, InterpretedSystem, InterpretedSystemBuilder, RunId};
+
+/// Converts a possibly-truncated [`Enumeration`] into a [`System`],
+/// reporting a zero-run result as the budget exhaustion it is (a
+/// [`System`](hm_runs::System) cannot be empty).
+fn enumeration_to_nonempty_system(e: Enumeration) -> Result<hm_runs::System, EnumerateError> {
+    if e.runs.is_empty() {
+        return Err(EnumerateError::Limit(LimitExceeded {
+            resource: Resource::Runs,
+            phase: Phase::Enumerate,
+            spent: 1,
+            limit: 0,
+        }));
+    }
+    Ok(enumeration_to_system(e))
+}
 
 /// The generals' system interpreted under complete history, with the
 /// facts used by the analyses:
@@ -48,6 +66,25 @@ pub fn generals_builder(
     Ok(builder_with_facts(generals_system_opts(horizon, parallel)?))
 }
 
+/// [`generals_builder`] under a caller-supplied resource [`Budget`]. The
+/// strict/partial semantics are those of
+/// [`hm_netsim::enumerate_runs_budgeted`]; under a partial budget the
+/// underlying system may be flagged truncated, which the built
+/// [`InterpretedSystem`] reports via `is_partial`.
+///
+/// # Errors
+///
+/// [`EnumerateError`] on strict exhaustion, or when a partial budget
+/// admitted zero runs.
+pub fn generals_builder_budgeted(
+    horizon: u64,
+    parallel: bool,
+    budget: &Budget,
+) -> Result<InterpretedSystemBuilder, EnumerateError> {
+    let e = generals_system_budgeted(horizon, parallel, budget)?;
+    Ok(builder_with_facts(enumeration_to_nonempty_system(e)?))
+}
+
 /// The Theorem 7 frame (Section 7): a single would-be send from A to B
 /// under **unbounded** delivery delay (NG1′ instead of NG1), one run
 /// family per intent bit. The fact `sent` is "A has dispatched its
@@ -60,8 +97,23 @@ pub fn generals_builder(
 pub fn generals_unbounded_builder(
     horizon: u64,
 ) -> Result<InterpretedSystemBuilder, EnumerateError> {
+    let budget = hm_limits::Limits::none().max_runs(1024).budget();
+    generals_unbounded_builder_budgeted(horizon, &budget)
+}
+
+/// [`generals_unbounded_builder`] under a caller-supplied resource
+/// [`Budget`] — see [`generals_builder_budgeted`] for the semantics.
+///
+/// # Errors
+///
+/// [`EnumerateError`] on strict exhaustion, or when a partial budget
+/// admitted zero runs.
+pub fn generals_unbounded_builder_budgeted(
+    horizon: u64,
+    budget: &Budget,
+) -> Result<InterpretedSystemBuilder, EnumerateError> {
     use hm_netsim::{
-        enumerate_runs, Command, ExecutionSpec, FnProtocol, LocalView, UnboundedDelay,
+        enumerate_runs_budgeted, Command, ExecutionSpec, FnProtocol, LocalView, UnboundedDelay,
     };
     use hm_runs::Message;
     let protocol = FnProtocol::new("oneshot", |v: &LocalView<'_>| {
@@ -75,25 +127,29 @@ pub fn generals_unbounded_builder(
         }
     });
     let mut runs = Vec::new();
+    let mut truncated = false;
     for intent in 0..=1u64 {
-        runs.extend(enumerate_runs(
+        let e = enumerate_runs_budgeted(
             &protocol,
             &UnboundedDelay { min_delay: 1 },
             &ExecutionSpec::simple(2, horizon)
                 .with_initial_states(vec![intent, 0])
                 .with_label(format!("i{intent}")),
-            1024,
-        )?);
+            budget,
+        )?;
+        runs.extend(e.runs);
+        if e.truncated {
+            truncated = true;
+            break;
+        }
     }
+    let system = enumeration_to_nonempty_system(Enumeration { runs, truncated })?;
     Ok(
-        InterpretedSystem::builder(hm_runs::System::new(runs), CompleteHistory).fact(
-            "sent",
-            |run, t| {
-                run.proc(AgentId::new(0))
-                    .events_before(t + 1)
-                    .any(|e| matches!(e.event, Event::Send { .. }))
-            },
-        ),
+        InterpretedSystem::builder(system, CompleteHistory).fact("sent", |run, t| {
+            run.proc(AgentId::new(0))
+                .events_before(t + 1)
+                .any(|e| matches!(e.event, Event::Send { .. }))
+        }),
     )
 }
 

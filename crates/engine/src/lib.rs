@@ -57,9 +57,15 @@ pub use spec::{ParamDescriptor, ParamKind, ParamValue, ParamValues, ScenarioSpec
 // The analysis types `Session::check` and `check_spec` return.
 pub use hm_logic::{Diagnostic, Diagnostics, Severity};
 
+// The resource-governance vocabulary, so engine users need no direct
+// `hm-limits` dependency.
+pub use hm_limits as limits;
+pub use hm_limits::{Budget, CancelToken, LimitExceeded, Limits, Phase, Resource};
+
 use hm_kripke::{minimize, KripkeModel, Minimized, WorldId, WorldSet};
 use hm_logic::{
-    compile, simplify, Analyzer, Bound, CompiledFormula, EvalError, Formula, Frame, ParseError, F,
+    compile, evaluate_interval, simplify, Analyzer, Bound, CompiledFormula, EvalError, Formula,
+    Frame, IntervalSet, ParseError, F,
 };
 use hm_netsim::EnumerateError;
 use hm_runs::{InterpretedSystem, InterpretedSystemBuilder, RunId, System};
@@ -81,6 +87,30 @@ pub enum EngineError {
     /// A run/time-addressed question was asked of a frame without run
     /// structure (a plain Kripke model).
     NoRunStructure,
+    /// A resource ceiling, deadline, or cancellation stopped the
+    /// pipeline outside enumeration or evaluation (interpreted-system
+    /// build, minimisation). Use [`EngineError::limit`] to match
+    /// exhaustion uniformly across phases.
+    LimitExceeded(LimitExceeded),
+    /// A two-valued query ([`Session::ask`]) was asked of a frame built
+    /// under [`Limits::allow_partial`] whose enumeration was truncated:
+    /// classical verdicts over a partial run set are unsound. Use
+    /// [`Session::ask_partial`] for the three-valued answer.
+    PartialFrame,
+}
+
+impl EngineError {
+    /// The underlying [`LimitExceeded`], whichever phase it surfaced
+    /// from — enumeration, build/minimisation, or evaluation. The `hm`
+    /// CLI keys its dedicated exit code off this.
+    pub fn limit(&self) -> Option<&LimitExceeded> {
+        match self {
+            EngineError::LimitExceeded(e) => Some(e),
+            EngineError::Enumerate(EnumerateError::Limit(e)) => Some(e),
+            EngineError::Eval(EvalError::Limit(e)) => Some(e),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for EngineError {
@@ -96,11 +126,25 @@ impl fmt::Display for EngineError {
                     "frame has no run/time structure for a point-addressed query"
                 )
             }
+            EngineError::LimitExceeded(e) => write!(f, "{e}"),
+            EngineError::PartialFrame => {
+                write!(
+                    f,
+                    "frame was truncated by a resource budget; two-valued answers \
+                     are unsound — use ask_partial for a three-valued verdict"
+                )
+            }
         }
     }
 }
 
 impl std::error::Error for EngineError {}
+
+impl From<LimitExceeded> for EngineError {
+    fn from(e: LimitExceeded) -> Self {
+        EngineError::LimitExceeded(e)
+    }
+}
 
 impl From<EnumerateError> for EngineError {
     fn from(e: EnumerateError) -> Self {
@@ -211,6 +255,111 @@ impl Verdict {
     }
 }
 
+/// A three-valued truth value, for verdicts over budget-truncated
+/// frames: `Unknown` means the surviving runs cannot settle the answer
+/// either way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Trilean {
+    /// Definitely holds (at every completion of the partial frame).
+    True,
+    /// Definitely fails.
+    False,
+    /// The partial frame cannot settle it.
+    Unknown,
+}
+
+impl fmt::Display for Trilean {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Trilean::True => write!(f, "true"),
+            Trilean::False => write!(f, "false"),
+            Trilean::Unknown => write!(f, "unknown"),
+        }
+    }
+}
+
+/// The answer to a [`Query`] over a possibly-truncated frame: a sound
+/// interval `[definitely, possibly]` bracketing the formula's true
+/// satisfying set (see [`Session::ask_partial`]). Points inside
+/// `definitely` hold under *every* completion of the partial run set;
+/// points outside `possibly` fail under every completion; the rest are
+/// [`Trilean::Unknown`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartialVerdict {
+    interval: IntervalSet,
+    partial: bool,
+}
+
+impl PartialVerdict {
+    /// The underlying `[lo, hi]` interval.
+    pub fn interval(&self) -> &IntervalSet {
+        &self.interval
+    }
+
+    /// Points where the formula definitely holds.
+    pub fn definitely(&self) -> &WorldSet {
+        self.interval.lo()
+    }
+
+    /// Points where the formula possibly holds (its complement
+    /// definitely fails).
+    pub fn possibly(&self) -> &WorldSet {
+        self.interval.hi()
+    }
+
+    /// The three-valued verdict at one point.
+    pub fn status_at(&self, w: WorldId) -> Trilean {
+        match self.interval.status_at(w) {
+            Some(true) => Trilean::True,
+            Some(false) => Trilean::False,
+            None => Trilean::Unknown,
+        }
+    }
+
+    /// Number of points that the interval cannot settle.
+    pub fn unknown_count(&self) -> usize {
+        self.interval.hi().count() - self.interval.lo().count()
+    }
+
+    /// `true` when both bounds agree everywhere — always the case on a
+    /// full frame, possible on a truncated one when the query is
+    /// knowledge-free.
+    pub fn is_exact(&self) -> bool {
+        self.interval.is_exact()
+    }
+
+    /// Whether the session frame this verdict came from was truncated.
+    pub fn from_partial_frame(&self) -> bool {
+        self.partial
+    }
+
+    /// Validity as a three-valued verdict: `True` when the formula
+    /// definitely holds everywhere, `False` when it definitely fails
+    /// somewhere, `Unknown` otherwise.
+    pub fn valid(&self) -> Trilean {
+        if self.interval.lo().is_full() {
+            Trilean::True
+        } else if !self.interval.hi().is_full() {
+            Trilean::False
+        } else {
+            Trilean::Unknown
+        }
+    }
+
+    /// Emptiness as a three-valued verdict: `True` when the formula
+    /// definitely holds nowhere, `False` when it definitely holds
+    /// somewhere, `Unknown` otherwise.
+    pub fn empty(&self) -> Trilean {
+        if self.interval.hi().is_empty() {
+            Trilean::True
+        } else if !self.interval.lo().is_empty() {
+            Trilean::False
+        } else {
+            Trilean::Unknown
+        }
+    }
+}
+
 enum Source {
     Named(String),
     Scenario(Box<dyn Scenario>),
@@ -227,6 +376,7 @@ pub struct Engine {
     source: Source,
     params: ScenarioParams,
     minimize: bool,
+    limits: Limits,
 }
 
 impl Engine {
@@ -235,6 +385,7 @@ impl Engine {
             source,
             params: ScenarioParams::default(),
             minimize: false,
+            limits: Limits::none(),
         }
     }
 
@@ -314,21 +465,41 @@ impl Engine {
         self
     }
 
+    /// Sets the resource governance for the whole pipeline: run and
+    /// world ceilings, a visited-state ceiling, a deadline/timeout, a
+    /// [`CancelToken`], and the [`Limits::allow_partial`] degradation
+    /// mode. One [`Budget`] derived from these limits spans enumeration,
+    /// interpreted-system build, minimisation, *and* every later
+    /// [`Session`] evaluation — a timeout is a deadline on the pipeline,
+    /// not per phase. Exhaustion surfaces as a typed error from
+    /// whichever phase hits it ([`EngineError::limit`] matches them
+    /// uniformly); no phase panics or leaves a corrupt session.
+    pub fn limits(mut self, limits: Limits) -> Self {
+        self.limits = limits;
+        self
+    }
+
     /// Runs the pipeline: construct the frame, apply options, return a
     /// query [`Session`].
     ///
     /// # Errors
     ///
     /// [`EngineError::Spec`] for malformed specs, unregistered names
-    /// (with a nearest-name suggestion), and invalid parameters; or
-    /// [`EngineError::Enumerate`] from scenario construction.
+    /// (with a nearest-name suggestion), and invalid parameters;
+    /// [`EngineError::Enumerate`] from scenario construction; or
+    /// [`EngineError::LimitExceeded`] when the [`limits`](Engine::limits)
+    /// budget is exhausted during interpreted-system build or
+    /// minimisation.
     pub fn build(self) -> Result<Session, EngineError> {
+        // The deadline clock starts here and spans every phase.
+        let budget = self.limits.budget();
         let frame = match self.source {
             Source::Named(spec) => {
                 let registry = ScenarioRegistry::builtin();
                 let (scenario, values) = registry.resolve(&spec)?;
                 let params = ScenarioParams {
                     values,
+                    budget: budget.clone(),
                     ..self.params
                 };
                 scenario.build(&params)?
@@ -339,22 +510,34 @@ impl Engine {
                 // the typed accessors just like a registry-served one.
                 let params = ScenarioParams {
                     values: ParamValues::defaults(&s.params()),
+                    budget: budget.clone(),
                     ..self.params
                 };
                 s.build(&params)?
             }
             Source::Builder(b) => ScenarioFrame::Interpreted(b),
             Source::Interpreted(isys) => {
-                return Ok(Session::new(SessionFrame::Interpreted(isys), self.minimize))
+                return Ok(Session::new(
+                    SessionFrame::Interpreted(isys),
+                    self.minimize,
+                    budget,
+                ))
             }
             Source::Model(m) => ScenarioFrame::Model(m),
         };
         Ok(match frame {
-            ScenarioFrame::Model(m) => Session::new(SessionFrame::Model(m), self.minimize),
-            ScenarioFrame::Interpreted(b) => Session::new(
-                SessionFrame::Interpreted(Box::new(b.minimized(self.minimize).build())),
-                self.minimize,
-            ),
+            ScenarioFrame::Model(m) => Session::new(SessionFrame::Model(m), self.minimize, budget),
+            ScenarioFrame::Interpreted(b) => {
+                let isys = b
+                    .minimized(self.minimize)
+                    .budget(budget.clone())
+                    .try_build()?;
+                Session::new(
+                    SessionFrame::Interpreted(Box::new(isys)),
+                    self.minimize,
+                    budget,
+                )
+            }
         })
     }
 }
@@ -380,6 +563,10 @@ pub struct Session {
     /// system without a folded quotient).
     late_quotient: Option<Minimized>,
     minimize: bool,
+    /// The pipeline budget, shared with the construction phases:
+    /// evaluations charge the same visited-state ceiling and observe the
+    /// same deadline and cancel token.
+    budget: Budget,
     /// Compiled programs, keyed by the *original* formula (the program
     /// itself is compiled from the simplified one).
     cache: HashMap<Formula, CachedQuery>,
@@ -398,7 +585,7 @@ impl fmt::Debug for Session {
 }
 
 impl Session {
-    fn new(frame: SessionFrame, minimize_on: bool) -> Self {
+    fn new(frame: SessionFrame, minimize_on: bool, budget: Budget) -> Self {
         let late_quotient = if minimize_on {
             match &frame {
                 SessionFrame::Model(m) => Some(minimize(m)),
@@ -414,8 +601,20 @@ impl Session {
             frame,
             late_quotient,
             minimize: minimize_on,
+            budget,
             cache: HashMap::new(),
             reports: HashMap::new(),
+        }
+    }
+
+    /// `true` when the frame was truncated by a partial-mode budget: the
+    /// run set is an under-approximation of the scenario's. Two-valued
+    /// queries are rejected ([`EngineError::PartialFrame`]); use
+    /// [`ask_partial`](Self::ask_partial).
+    pub fn is_partial(&self) -> bool {
+        match &self.frame {
+            SessionFrame::Interpreted(isys) => isys.is_partial(),
+            SessionFrame::Model(_) => false,
         }
     }
 
@@ -515,6 +714,9 @@ impl Session {
     ///
     /// See [`ask`](Self::ask).
     pub fn satisfying(&mut self, query: &Query) -> Result<WorldSet, EngineError> {
+        if self.is_partial() {
+            return Err(EngineError::PartialFrame);
+        }
         let f: &Formula = query.formula();
         if !self.cache.contains_key(f) {
             // One diagnostic source of truth: the analyzer replays
@@ -547,7 +749,10 @@ impl Session {
         let cached = &self.cache[f];
         if let Some(qbound) = &cached.quotient {
             let q = self.quotient().expect("bound against existing quotient");
-            let on_quotient = cached.compiled.eval_bound(&q.model, qbound);
+            let on_quotient =
+                cached
+                    .compiled
+                    .eval_bound_budgeted(&q.model, qbound, &self.budget)?;
             let n = self.frame().num_worlds();
             let mut out = WorldSet::empty(n);
             for w in 0..n {
@@ -557,8 +762,43 @@ impl Session {
             }
             Ok(out)
         } else {
-            Ok(cached.compiled.eval_bound(self.frame(), &cached.full))
+            Ok(cached
+                .compiled
+                .eval_bound_budgeted(self.frame(), &cached.full, &self.budget)?)
         }
+    }
+
+    /// Answers a query with a *three-valued* verdict, sound on frames
+    /// whose run set was truncated by a partial-mode budget: at every
+    /// surviving point the answer is definitely-true, definitely-false,
+    /// or [`Trilean::Unknown`] — never a wrong definite. On a full
+    /// (untruncated) frame this delegates to the exact compiled
+    /// evaluator, so the interval is exact and agrees with
+    /// [`ask`](Self::ask) everywhere; on a partial frame it runs the
+    /// tree-walking interval evaluator (no compiled cache, no quotient).
+    /// Both paths charge the same session budget as `ask`.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Eval`] as for [`ask`](Self::ask), including budget
+    /// exhaustion during evaluation.
+    pub fn ask_partial(&mut self, query: &Query) -> Result<PartialVerdict, EngineError> {
+        if !self.is_partial() {
+            let exact = self.satisfying(query)?;
+            return Ok(PartialVerdict {
+                interval: IntervalSet::exact(exact),
+                partial: false,
+            });
+        }
+        let frame: &dyn Frame = match &self.frame {
+            SessionFrame::Model(m) => m,
+            SessionFrame::Interpreted(isys) => &**isys,
+        };
+        let interval = evaluate_interval(frame, query.formula(), &self.budget)?;
+        Ok(PartialVerdict {
+            interval,
+            partial: true,
+        })
     }
 
     /// `true` iff the query is valid in the system (holds at every
@@ -630,6 +870,7 @@ pub fn check_spec(
         horizon,
         parallel: false,
         values,
+        budget: Budget::unlimited(),
     };
     let surface = scenario.surface(&params);
     let f = hm_logic::parse(query)?;

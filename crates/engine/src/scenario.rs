@@ -35,15 +35,16 @@
 
 use crate::spec::{nearest_name, ParamDescriptor, ParamValues, ScenarioSpec, SpecError};
 use crate::EngineError;
-use hm_core::agreement::{agreement_builder, AgreementSpec};
+use hm_core::agreement::{agreement_builder_budgeted, AgreementSpec};
 use hm_core::attain::uncertain_start_builder;
 use hm_core::discovery::deadlock_builder;
 use hm_core::frames::{consistency_builder, two_send_views_builder, ViewKind};
-use hm_core::puzzles::attack::{generals_builder, generals_unbounded_builder};
+use hm_core::puzzles::attack::{generals_builder_budgeted, generals_unbounded_builder_budgeted};
 use hm_core::puzzles::muddy::MuddyChildren;
 use hm_core::puzzles::r2d2::r2d2_parts;
 use hm_core::variants::{ok_builder, skewed_broadcast_builder};
 use hm_kripke::{random_model, KripkeModel, RandomModelSpec};
+use hm_limits::Budget;
 use hm_netsim::scenarios::R2d2Mode;
 use hm_runs::InterpretedSystemBuilder;
 
@@ -59,6 +60,11 @@ pub struct ScenarioParams {
     /// The resolved spec parameters (defaults filled in). Empty for
     /// scenarios built outside the registry.
     pub values: ParamValues,
+    /// The pipeline resource budget ([`Engine::limits`](crate::Engine::limits)).
+    /// Scenarios that enumerate runs should thread it into their
+    /// enumeration so ceilings, deadlines, and cancellation govern the
+    /// expensive phase; the default is unlimited.
+    pub budget: Budget,
 }
 
 impl ScenarioParams {
@@ -395,9 +401,10 @@ impl Scenario for Generals {
     }
 
     fn build(&self, params: &ScenarioParams) -> Result<ScenarioFrame, EngineError> {
-        Ok(ScenarioFrame::Interpreted(generals_builder(
+        Ok(ScenarioFrame::Interpreted(generals_builder_budgeted(
             params.horizon_or(params.values.int("horizon")),
             params.parallel,
+            &params.budget,
         )?))
     }
 }
@@ -439,9 +446,12 @@ impl Scenario for GeneralsUnbounded {
     }
 
     fn build(&self, params: &ScenarioParams) -> Result<ScenarioFrame, EngineError> {
-        Ok(ScenarioFrame::Interpreted(generals_unbounded_builder(
-            params.horizon_or(params.values.int("horizon")),
-        )?))
+        Ok(ScenarioFrame::Interpreted(
+            generals_unbounded_builder_budgeted(
+                params.horizon_or(params.values.int("horizon")),
+                &params.budget,
+            )?,
+        ))
     }
 }
 
@@ -680,12 +690,13 @@ impl Scenario for Agreement {
     }
 
     fn build(&self, params: &ScenarioParams) -> Result<ScenarioFrame, EngineError> {
-        Ok(ScenarioFrame::Interpreted(agreement_builder(
+        Ok(ScenarioFrame::Interpreted(agreement_builder_budgeted(
             AgreementSpec {
                 n: params.values.size("n"),
                 f: params.values.size("f"),
             },
-        )))
+            &params.budget,
+        )?))
     }
 }
 

@@ -1,0 +1,111 @@
+//! Deterministic fault injection at every phase boundary (requires the
+//! `failpoints` cargo feature): exhaustion, cancellation and worker
+//! death are forced at each governed site, and each must surface as a
+//! typed error — never a panic, never a corrupted session.
+//!
+//! `FailScenario::setup` holds a process-global lock, so these tests
+//! serialize against each other even under the parallel test runner.
+
+#![cfg(feature = "failpoints")]
+
+use hm_engine::limits::failpoints::{Action, ExhaustKind, FailScenario};
+use hm_engine::{Engine, Phase, Query, Resource};
+
+#[test]
+fn exhaustion_at_enumeration_is_typed() {
+    let sc = FailScenario::setup();
+    sc.configure("netsim::enumerate", Action::Exhaust(ExhaustKind::Runs));
+    let err = Engine::for_scenario("generals").build().unwrap_err();
+    let e = err.limit().expect("typed limit");
+    assert_eq!(e.resource, Resource::Runs);
+    assert_eq!(e.phase, Phase::Enumerate);
+}
+
+#[test]
+fn cancellation_at_enumeration_is_typed() {
+    let sc = FailScenario::setup();
+    sc.configure("netsim::enumerate", Action::Cancel);
+    let err = Engine::for_scenario("generals").build().unwrap_err();
+    let e = err.limit().expect("typed limit");
+    assert_eq!(e.resource, Resource::Cancelled);
+    assert_eq!(e.phase, Phase::Enumerate);
+}
+
+/// The worker site (`netsim::worker`) is exercised with real spawned
+/// threads in hm-netsim's own failpoint suite, where the run tree is
+/// wide enough to guarantee workers; through the engine, parallel
+/// builds are covered at the shared enumeration entry.
+#[test]
+fn exhaustion_in_a_parallel_build_is_typed() {
+    let sc = FailScenario::setup();
+    sc.configure("netsim::enumerate", Action::Exhaust(ExhaustKind::Deadline));
+    let err = Engine::for_scenario("generals")
+        .parallel_enumeration(true)
+        .build()
+        .unwrap_err();
+    let e = err.limit().expect("typed limit");
+    assert_eq!(e.resource, Resource::Deadline);
+    assert_eq!(e.phase, Phase::Enumerate);
+}
+
+#[test]
+fn exhaustion_at_interpreted_system_build_is_typed() {
+    let sc = FailScenario::setup();
+    sc.configure("runs::build", Action::Exhaust(ExhaustKind::Worlds));
+    let err = Engine::for_scenario("agreement:n=3,f=1")
+        .build()
+        .unwrap_err();
+    let e = err.limit().expect("typed limit");
+    assert_eq!(e.resource, Resource::Worlds);
+    assert_eq!(e.phase, Phase::Build);
+}
+
+#[test]
+fn exhaustion_during_minimization_is_typed() {
+    let sc = FailScenario::setup();
+    sc.configure("kripke::refine", Action::Exhaust(ExhaustKind::States));
+    let err = Engine::for_scenario("agreement:n=3,f=1")
+        .minimize(true)
+        .build()
+        .unwrap_err();
+    let e = err.limit().expect("typed limit");
+    assert_eq!(e.resource, Resource::StatesVisited);
+    assert_eq!(e.phase, Phase::Minimize);
+}
+
+#[test]
+fn exhaustion_during_evaluation_leaves_the_session_usable() {
+    let sc = FailScenario::setup();
+    let mut session = Engine::for_scenario("agreement:n=3,f=1")
+        .build()
+        .expect("no failpoint configured during build");
+    let q = Query::parse("C{0,1,2} min0").unwrap();
+
+    sc.configure("logic::eval", Action::Exhaust(ExhaustKind::States));
+    let err = session.ask(&q).unwrap_err();
+    let e = err.limit().expect("typed limit");
+    assert_eq!(e.resource, Resource::StatesVisited);
+    assert_eq!(e.phase, Phase::Eval);
+    // Three-valued evaluation is governed by the same site.
+    assert!(session.ask_partial(&q).is_err());
+
+    // The failed evaluation must not have poisoned any cache: with the
+    // failpoint cleared the very same session answers normally.
+    sc.clear("logic::eval");
+    let verdict = session.ask(&q).expect("session survives a failed eval");
+    assert!(verdict.count() > 0);
+}
+
+#[test]
+fn cancellation_during_evaluation_is_typed() {
+    let sc = FailScenario::setup();
+    let mut session = Engine::for_scenario("agreement:n=3,f=1")
+        .build()
+        .expect("no failpoint configured during build");
+    sc.configure("logic::eval", Action::Cancel);
+    let q = Query::parse("decided0").unwrap();
+    let err = session.ask(&q).unwrap_err();
+    let e = err.limit().expect("typed limit");
+    assert_eq!(e.resource, Resource::Cancelled);
+    assert_eq!(e.phase, Phase::Eval);
+}

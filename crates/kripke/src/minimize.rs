@@ -17,6 +17,7 @@ use crate::agent::AgentId;
 use crate::model::{KripkeModel, ModelBuilder};
 use crate::partition::Partition;
 use crate::world::WorldId;
+use hm_limits::{failpoints, Budget, LimitExceeded, Phase};
 
 /// The result of minimising a model: the quotient model plus the mapping
 /// from old worlds to their bisimulation class (= new world id).
@@ -71,12 +72,33 @@ pub fn minimize(model: &KripkeModel) -> Minimized {
 /// model (the per-agent relations there come straight from dense view
 /// ids, not from a built [`KripkeModel`]).
 pub fn coarsest_refinement(init: Partition, relations: &[&Partition]) -> Partition {
+    coarsest_refinement_budgeted(init, relations, &Budget::unlimited())
+        .expect("unlimited budget cannot be exceeded")
+}
+
+/// [`coarsest_refinement`] under a resource [`Budget`]: each refinement
+/// round charges one visited state per world (a round recomputes every
+/// world's signature) and re-checks the deadline/cancellation, so a
+/// runaway minimisation stops between rounds with all partial state
+/// dropped.
+///
+/// # Errors
+///
+/// [`LimitExceeded`] (phase [`Phase::Minimize`]) when the budget is
+/// exhausted or the `kripke::refine` failpoint fires.
+pub fn coarsest_refinement_budgeted(
+    init: Partition,
+    relations: &[&Partition],
+    budget: &Budget,
+) -> Result<Partition, LimitExceeded> {
+    failpoints::check("kripke::refine", Phase::Minimize)?;
     let n = init.num_worlds();
     let mut current = init;
     loop {
+        budget.charge(Phase::Minimize, n as u64)?;
         let next = Partition::from_key(n, |w| signature(relations, &current, w));
         if next.num_blocks() == current.num_blocks() {
-            return current;
+            return Ok(current);
         }
         current = next;
     }

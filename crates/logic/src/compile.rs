@@ -36,6 +36,7 @@ use crate::formula::Formula;
 use crate::frame::{Frame, TemporalStructure};
 use crate::temporal;
 use hm_kripke::{AgentGroup, AgentId, WorldSet};
+use hm_limits::{failpoints, Budget, LimitExceeded, Phase};
 use std::collections::HashMap;
 
 /// One instruction of the compiled stack machine. Instructions are laid
@@ -363,6 +364,42 @@ impl CompiledFormula {
     /// Panics (universe mismatch) if `bound` came from a frame with a
     /// different world universe.
     pub fn eval_bound(&self, frame: &dyn Frame, bound: &Bound) -> WorldSet {
+        self.run(frame, bound, &Budget::unlimited())
+            .expect("unlimited budget cannot be exceeded")
+    }
+
+    /// [`eval_bound`](Self::eval_bound) under a resource [`Budget`]: each
+    /// executed instruction charges one visited state (amortized — see
+    /// `hm-limits`), and every fixed-point iteration re-checks deadlines
+    /// and cancellation, so divergently large evaluations are interrupted
+    /// at iteration granularity.
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError::Limit`] when the budget is exhausted, the deadline
+    /// passes, or the computation is cancelled. The failpoint site
+    /// `logic::eval` can inject the same errors deterministically.
+    ///
+    /// # Panics
+    ///
+    /// Panics (universe mismatch) if `bound` came from a frame with a
+    /// different world universe.
+    pub fn eval_bound_budgeted(
+        &self,
+        frame: &dyn Frame,
+        bound: &Bound,
+        budget: &Budget,
+    ) -> Result<WorldSet, EvalError> {
+        failpoints::check("logic::eval", Phase::Eval)?;
+        self.run(frame, bound, budget)
+    }
+
+    fn run(
+        &self,
+        frame: &dyn Frame,
+        bound: &Bound,
+        budget: &Budget,
+    ) -> Result<WorldSet, EvalError> {
         let n = frame.num_worlds();
         let mut m = Machine {
             compiled: self,
@@ -373,10 +410,12 @@ impl CompiledFormula {
             regs: vec![None; self.num_regs as usize],
             stack: Vec::new(),
             n,
+            budget,
         };
-        m.exec_chunk(self.chunk_ranges.len() - 1);
+        m.exec_chunk(self.chunk_ranges.len() - 1)
+            .map_err(EvalError::Limit)?;
         let top = m.stack.pop().expect("program pushes exactly one result");
-        m.owned_value(top)
+        Ok(m.owned_value(top))
     }
 
     /// `true` if any instruction requires run/time structure.
@@ -466,6 +505,30 @@ impl EvalCache {
         }
         let (compiled, bound) = &self.entries[f];
         Ok(compiled.eval_bound(frame, bound))
+    }
+
+    /// [`eval`](Self::eval) under a resource [`Budget`] — see
+    /// [`CompiledFormula::eval_bound_budgeted`].
+    ///
+    /// # Errors
+    ///
+    /// Compile/bind errors as for [`eval`](Self::eval), plus
+    /// [`EvalError::Limit`] on exhaustion, deadline, or cancellation.
+    /// Formulas are cached only after a successful bind, so an
+    /// interrupted evaluation leaves the cache consistent.
+    pub fn eval_budgeted(
+        &mut self,
+        frame: &dyn Frame,
+        f: &Formula,
+        budget: &Budget,
+    ) -> Result<WorldSet, EvalError> {
+        if !self.entries.contains_key(f) {
+            let compiled = compile(f)?;
+            let bound = compiled.bind(frame)?;
+            self.entries.insert(f.clone(), (compiled, bound));
+        }
+        let (compiled, bound) = &self.entries[f];
+        compiled.eval_bound_budgeted(frame, bound, budget)
     }
 
     /// Number of distinct formulas compiled so far.
@@ -743,6 +806,7 @@ struct Machine<'a> {
     regs: Vec<Option<WorldSet>>,
     stack: Vec<Val>,
     n: usize,
+    budget: &'a Budget,
 }
 
 impl Machine<'_> {
@@ -777,14 +841,18 @@ impl Machine<'_> {
     }
 
     /// Executes one chunk, leaving exactly one more value on the stack.
-    fn exec_chunk(&mut self, chunk: usize) {
+    fn exec_chunk(&mut self, chunk: usize) -> Result<(), LimitExceeded> {
         let (start, end) = self.compiled.chunk_ranges[chunk];
         for ix in start as usize..end as usize {
-            self.exec_op(self.compiled.ops[ix]);
+            self.exec_op(self.compiled.ops[ix])?;
         }
+        Ok(())
     }
 
-    fn exec_op(&mut self, op: Op) {
+    fn exec_op(&mut self, op: Op) -> Result<(), LimitExceeded> {
+        // One visited state per executed instruction; with an unlimited
+        // budget this is a no-op, otherwise an amortized counter bump.
+        self.budget.tick(Phase::Eval)?;
         match op {
             Op::True => self.stack.push(Val::Owned(WorldSet::full(self.n))),
             Op::False => self.stack.push(Val::Owned(WorldSet::empty(self.n))),
@@ -825,7 +893,7 @@ impl Machine<'_> {
                     // `E^0 φ = φ` (the constructors forbid k = 0, but the
                     // enum variant is public; match the tree-walker).
                     self.stack.push(a);
-                    return;
+                    return Ok(());
                 }
                 let g = self.group(group);
                 let mut cur = self.frame.everyone_set(g, self.resolve(&a));
@@ -863,7 +931,11 @@ impl Machine<'_> {
                     WorldSet::empty(self.n)
                 };
                 loop {
-                    self.exec_chunk(body as usize);
+                    // Deadline/cancellation re-check at every iteration:
+                    // a single fixed-point round can be long on large
+                    // frames, so don't rely on the amortized tick alone.
+                    self.budget.check_now(Phase::Eval)?;
+                    self.exec_chunk(body as usize)?;
                     let top = self.pop();
                     let next = self.owned_value(top);
                     if next == self.slots[slot as usize] {
@@ -875,7 +947,7 @@ impl Machine<'_> {
             }
             Op::Memo { reg, body } => {
                 if self.regs[reg as usize].is_none() {
-                    self.exec_chunk(body as usize);
+                    self.exec_chunk(body as usize)?;
                     let top = self.pop();
                     self.regs[reg as usize] = Some(self.owned_value(top));
                 }
@@ -917,7 +989,7 @@ impl Machine<'_> {
                         temporal::everyone_eps_set(m.ts(), g, eps, &k_sets)
                     },
                     group,
-                );
+                )?;
                 self.stack.push(Val::Owned(out));
             }
             Op::EveryoneEv(group) => {
@@ -936,7 +1008,7 @@ impl Machine<'_> {
                         temporal::everyone_ev_set(m.ts(), g, &k_sets)
                     },
                     group,
-                );
+                )?;
                 self.stack.push(Val::Owned(out));
             }
             Op::KnowsAt { agent, stamp } => {
@@ -962,10 +1034,11 @@ impl Machine<'_> {
                         temporal::everyone_ts_set(m.ts(), g, stamp, &k_sets)
                     },
                     group,
-                );
+                )?;
                 self.stack.push(Val::Owned(out));
             }
         }
+        Ok(())
     }
 
     /// The shared `νX. Op_G(φ ∧ X)` downward iteration of the `C^ε`,
@@ -975,15 +1048,16 @@ impl Machine<'_> {
         av: &Val,
         step: impl Fn(&Self, &AgentGroup, &WorldSet) -> WorldSet,
         group: u32,
-    ) -> WorldSet {
+    ) -> Result<WorldSet, LimitExceeded> {
         let g = self.group(group);
         let av = self.resolve(av);
         let mut x = WorldSet::full(self.n);
         loop {
+            self.budget.check_now(Phase::Eval)?;
             let arg = av.intersection(&x);
             let next = step(self, g, &arg);
             if next == x {
-                return x;
+                return Ok(x);
             }
             x = next;
         }

@@ -32,6 +32,10 @@ pub enum EvalError {
     NoTemporalStructure(String),
     /// An agent index outside `0..frame.num_agents()`.
     AgentOutOfRange(usize),
+    /// A resource ceiling, deadline, or cancellation interrupted the
+    /// evaluation (see `hm-limits`). Carried inside the evaluation error
+    /// so budgeted evaluation keeps the ordinary result type.
+    Limit(hm_limits::LimitExceeded),
 }
 
 impl fmt::Display for EvalError {
@@ -49,11 +53,18 @@ impl fmt::Display for EvalError {
                 )
             }
             EvalError::AgentOutOfRange(i) => write!(f, "agent index {i} out of range"),
+            EvalError::Limit(e) => write!(f, "{e}"),
         }
     }
 }
 
 impl std::error::Error for EvalError {}
+
+impl From<hm_limits::LimitExceeded> for EvalError {
+    fn from(e: hm_limits::LimitExceeded) -> Self {
+        EvalError::Limit(e)
+    }
+}
 
 /// Evaluates a closed formula on a frame, returning the set of worlds where
 /// it holds.
@@ -127,7 +138,7 @@ pub fn is_valid(frame: &dyn Frame, f: &Formula) -> Result<bool, EvalError> {
 
 type Env = HashMap<String, WorldSet>;
 
-fn group_check(frame: &dyn Frame, g: &AgentGroup) -> Result<(), EvalError> {
+pub(crate) fn group_check(frame: &dyn Frame, g: &AgentGroup) -> Result<(), EvalError> {
     for i in g.iter() {
         if i.index() >= frame.num_agents() {
             return Err(EvalError::AgentOutOfRange(i.index()));
@@ -321,11 +332,11 @@ fn eval(frame: &dyn Frame, f: &Formula, env: &mut Env) -> Result<WorldSet, EvalE
     }
 }
 
-fn member_knowledge(frame: &dyn Frame, g: &AgentGroup, a: &WorldSet) -> Vec<WorldSet> {
+pub(crate) fn member_knowledge(frame: &dyn Frame, g: &AgentGroup, a: &WorldSet) -> Vec<WorldSet> {
     g.iter().map(|i| frame.knowledge_set(i, a)).collect()
 }
 
-fn need_temporal<'a>(
+pub(crate) fn need_temporal<'a>(
     frame: &'a dyn Frame,
     op: &str,
 ) -> Result<&'a dyn crate::frame::TemporalStructure, EvalError> {

@@ -1,0 +1,537 @@
+//! Three-valued evaluation for partial frames.
+//!
+//! When enumeration is truncated by a resource budget (see `hm-limits`),
+//! the frame the engine builds contains a *subset* of the real system's
+//! points. A classical verdict computed on such a frame can be wrong in
+//! either direction, so this module computes an **interval**
+//! [`IntervalSet`] `(lo, hi)` per formula with the invariant
+//!
+//! ```text
+//! lo  ⊆  truth(φ, full system) ∩ survivors  ⊆  hi
+//! ```
+//!
+//! where `survivors` are the points that made it into the partial frame.
+//! A world in `lo` definitely satisfies φ in the full system; a world
+//! outside `hi` definitely falsifies it; anything between is *unknown*.
+//!
+//! The rules exploit two structural facts about budget truncation:
+//!
+//! - **Whole runs survive or die.** Both the netsim depth-first
+//!   enumeration and the agreement-scenario loop admit or truncate entire
+//!   runs, never prefixes, so the run-local temporal operators (`next`,
+//!   `even`, `alw`, `once`) are *exact* on both bounds.
+//! - **Partial classes are restricted full classes.** An agent's
+//!   indistinguishability class in the partial frame is the full class
+//!   intersected with the survivors (views depend only on the point), so
+//!   any knowledge-like operator applied on the partial frame
+//!   *over-approximates* the restricted full-system operator: the upper
+//!   bound is the operator applied to the argument's upper bound, and the
+//!   sound lower bound is empty — positive knowledge can never be
+//!   asserted from a truncated frame, because the missing points might
+//!   have refuted it.
+//!
+//! Boolean connectives are pointwise interval arithmetic; `µ`/`ν`
+//! binders iterate the `(lo, hi)` pair (positivity makes the lower bound
+//! depend only on lower bounds and dually, so the pair iteration
+//! converges monotonically and its limit brackets the full-system fixed
+//! point by Knaster–Tarski).
+//!
+//! On a frame that is *not* truncated the interval is still sound, just
+//! needlessly wide around knowledge operators — callers with an exact
+//! frame should use [`evaluate`](crate::evaluate).
+
+use crate::eval::{check_positive, group_check, member_knowledge, need_temporal, EvalError};
+use crate::formula::Formula;
+use crate::frame::Frame;
+use crate::temporal;
+use hm_kripke::{WorldId, WorldSet};
+use hm_limits::{failpoints, Budget, Phase};
+use std::collections::HashMap;
+
+/// A sound bracket around the (unknowable) exact truth set of a formula
+/// on a partial frame: `lo ⊆ truth ⊆ hi` over the surviving worlds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntervalSet {
+    lo: WorldSet,
+    hi: WorldSet,
+}
+
+impl IntervalSet {
+    /// An exact interval: the formula's truth set is known to be `s`.
+    #[must_use]
+    pub fn exact(s: WorldSet) -> Self {
+        IntervalSet {
+            lo: s.clone(),
+            hi: s,
+        }
+    }
+
+    /// Builds an interval from explicit bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `lo ⊄ hi` — such a pair brackets nothing.
+    #[must_use]
+    pub fn new(lo: WorldSet, hi: WorldSet) -> Self {
+        debug_assert!(lo.is_subset(&hi), "interval lower bound exceeds upper");
+        IntervalSet { lo, hi }
+    }
+
+    /// Worlds where the formula *definitely* holds in the full system.
+    #[must_use]
+    pub fn lo(&self) -> &WorldSet {
+        &self.lo
+    }
+
+    /// Worlds where the formula *possibly* holds; outside `hi` it
+    /// definitely fails in the full system.
+    #[must_use]
+    pub fn hi(&self) -> &WorldSet {
+        &self.hi
+    }
+
+    /// `true` when both bounds coincide — the verdict is classical.
+    #[must_use]
+    pub fn is_exact(&self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// Three-valued verdict at one world: `Some(true)` definitely holds,
+    /// `Some(false)` definitely fails, `None` unknown under truncation.
+    #[must_use]
+    pub fn status_at(&self, w: WorldId) -> Option<bool> {
+        if self.lo.contains(w) {
+            Some(true)
+        } else if !self.hi.contains(w) {
+            Some(false)
+        } else {
+            None
+        }
+    }
+
+    /// Consumes the interval into `(lo, hi)`.
+    #[must_use]
+    pub fn into_parts(self) -> (WorldSet, WorldSet) {
+        (self.lo, self.hi)
+    }
+}
+
+type Env = HashMap<String, IntervalSet>;
+
+/// Evaluates `f` on a (possibly truncated) frame, returning a sound
+/// truth interval (see the module docs for the exact guarantee).
+///
+/// # Errors
+///
+/// The same well-formedness errors as [`evaluate`](crate::evaluate),
+/// plus [`EvalError::Limit`] when `budget` is exhausted, the deadline
+/// passes, or the computation is cancelled. The failpoint site
+/// `logic::eval` can inject the same errors deterministically.
+pub fn evaluate_interval(
+    frame: &dyn Frame,
+    f: &Formula,
+    budget: &Budget,
+) -> Result<IntervalSet, EvalError> {
+    failpoints::check("logic::eval", Phase::Eval)?;
+    let mut env = Env::new();
+    eval_iv(frame, f, &mut env, budget)
+}
+
+/// Lower bound for knowledge-like operators: empty. The missing points
+/// of a truncated frame could always refute a positive knowledge claim.
+fn upper_only(n: usize, hi: WorldSet) -> IntervalSet {
+    IntervalSet {
+        lo: WorldSet::empty(n),
+        hi,
+    }
+}
+
+#[allow(clippy::too_many_lines)] // one arm per formula clause, like `eval`
+fn eval_iv(
+    frame: &dyn Frame,
+    f: &Formula,
+    env: &mut Env,
+    budget: &Budget,
+) -> Result<IntervalSet, EvalError> {
+    budget.tick(Phase::Eval)?;
+    let n = frame.num_worlds();
+    match f {
+        Formula::True => Ok(IntervalSet::exact(WorldSet::full(n))),
+        Formula::False => Ok(IntervalSet::exact(WorldSet::empty(n))),
+        Formula::Atom(name) => frame
+            .atom_set(name)
+            .map(IntervalSet::exact)
+            .ok_or_else(|| EvalError::UnknownAtom(name.clone())),
+        Formula::Var(x) => env
+            .get(x)
+            .cloned()
+            .ok_or_else(|| EvalError::UnboundVar(x.clone())),
+        Formula::Not(a) => {
+            let v = eval_iv(frame, a, env, budget)?;
+            Ok(IntervalSet {
+                lo: v.hi.complement(),
+                hi: v.lo.complement(),
+            })
+        }
+        Formula::And(xs) => {
+            let mut lo = WorldSet::full(n);
+            let mut hi = WorldSet::full(n);
+            for x in xs {
+                let v = eval_iv(frame, x, env, budget)?;
+                lo.intersect_with(&v.lo);
+                hi.intersect_with(&v.hi);
+            }
+            Ok(IntervalSet { lo, hi })
+        }
+        Formula::Or(xs) => {
+            let mut lo = WorldSet::empty(n);
+            let mut hi = WorldSet::empty(n);
+            for x in xs {
+                let v = eval_iv(frame, x, env, budget)?;
+                lo.union_with(&v.lo);
+                hi.union_with(&v.hi);
+            }
+            Ok(IntervalSet { lo, hi })
+        }
+        Formula::Implies(a, b) => {
+            let av = eval_iv(frame, a, env, budget)?;
+            let bv = eval_iv(frame, b, env, budget)?;
+            Ok(IntervalSet {
+                lo: av.hi.complement().union(&bv.lo),
+                hi: av.lo.complement().union(&bv.hi),
+            })
+        }
+        Formula::Iff(a, b) => {
+            let av = eval_iv(frame, a, env, budget)?;
+            let bv = eval_iv(frame, b, env, budget)?;
+            let lo = av
+                .lo
+                .intersection(&bv.lo)
+                .union(&av.hi.complement().intersection(&bv.hi.complement()));
+            let hi = av
+                .hi
+                .intersection(&bv.hi)
+                .union(&av.lo.complement().intersection(&bv.lo.complement()));
+            Ok(IntervalSet { lo, hi })
+        }
+        Formula::Knows(i, a) => {
+            if i.index() >= frame.num_agents() {
+                return Err(EvalError::AgentOutOfRange(i.index()));
+            }
+            let v = eval_iv(frame, a, env, budget)?;
+            Ok(upper_only(n, frame.knowledge_set(*i, &v.hi)))
+        }
+        Formula::EveryoneK(g, k, a) => {
+            group_check(frame, g)?;
+            let v = eval_iv(frame, a, env, budget)?;
+            if *k == 0 {
+                // `E^0 φ = φ`: identity, so the whole interval passes
+                // through (match the classical evaluators).
+                return Ok(v);
+            }
+            let mut cur = v.hi;
+            for _ in 0..*k {
+                cur = frame.everyone_set(g, &cur);
+            }
+            Ok(upper_only(n, cur))
+        }
+        Formula::Someone(g, a) => {
+            group_check(frame, g)?;
+            let v = eval_iv(frame, a, env, budget)?;
+            let mut hi = WorldSet::empty(n);
+            for i in g.iter() {
+                hi.union_with(&frame.knowledge_set(i, &v.hi));
+            }
+            Ok(upper_only(n, hi))
+        }
+        Formula::Distributed(g, a) => {
+            group_check(frame, g)?;
+            let v = eval_iv(frame, a, env, budget)?;
+            Ok(upper_only(n, frame.distributed_set(g, &v.hi)))
+        }
+        Formula::Common(g, a) => {
+            group_check(frame, g)?;
+            let v = eval_iv(frame, a, env, budget)?;
+            Ok(upper_only(n, frame.common_set(g, &v.hi)))
+        }
+        Formula::Gfp(x, body) => {
+            check_positive(body, x)?;
+            let full = WorldSet::full(n);
+            fixpoint_iv(frame, x, body, env, budget, IntervalSet::exact(full))
+        }
+        Formula::Lfp(x, body) => {
+            check_positive(body, x)?;
+            let empty = WorldSet::empty(n);
+            fixpoint_iv(frame, x, body, env, budget, IntervalSet::exact(empty))
+        }
+        Formula::Next(a) => {
+            let ts = need_temporal(frame, "next")?;
+            let v = eval_iv(frame, a, env, budget)?;
+            Ok(IntervalSet {
+                lo: temporal::next_set(ts, &v.lo),
+                hi: temporal::next_set(ts, &v.hi),
+            })
+        }
+        Formula::Eventually(a) => {
+            let ts = need_temporal(frame, "even")?;
+            let v = eval_iv(frame, a, env, budget)?;
+            Ok(IntervalSet {
+                lo: temporal::eventually_set(ts, &v.lo),
+                hi: temporal::eventually_set(ts, &v.hi),
+            })
+        }
+        Formula::Always(a) => {
+            let ts = need_temporal(frame, "alw")?;
+            let v = eval_iv(frame, a, env, budget)?;
+            Ok(IntervalSet {
+                lo: temporal::always_set(ts, &v.lo),
+                hi: temporal::always_set(ts, &v.hi),
+            })
+        }
+        Formula::Once(a) => {
+            let ts = need_temporal(frame, "once")?;
+            let v = eval_iv(frame, a, env, budget)?;
+            Ok(IntervalSet {
+                lo: temporal::once_set(ts, &v.lo),
+                hi: temporal::once_set(ts, &v.hi),
+            })
+        }
+        Formula::EveryoneEps(g, eps, a) => {
+            group_check(frame, g)?;
+            let ts = need_temporal(frame, "Eeps")?;
+            let v = eval_iv(frame, a, env, budget)?;
+            let k_sets = member_knowledge(frame, g, &v.hi);
+            Ok(upper_only(
+                n,
+                temporal::everyone_eps_set(ts, g, *eps, &k_sets),
+            ))
+        }
+        Formula::EveryoneEv(g, a) => {
+            group_check(frame, g)?;
+            let ts = need_temporal(frame, "Eev")?;
+            let v = eval_iv(frame, a, env, budget)?;
+            let k_sets = member_knowledge(frame, g, &v.hi);
+            Ok(upper_only(n, temporal::everyone_ev_set(ts, g, &k_sets)))
+        }
+        Formula::KnowsAt(i, stamp, a) => {
+            if i.index() >= frame.num_agents() {
+                return Err(EvalError::AgentOutOfRange(i.index()));
+            }
+            let ts = need_temporal(frame, "K@")?;
+            let v = eval_iv(frame, a, env, budget)?;
+            let k = frame.knowledge_set(*i, &v.hi);
+            Ok(upper_only(n, temporal::knows_at_set(ts, *i, *stamp, &k)))
+        }
+        Formula::EveryoneTs(g, stamp, a) => {
+            group_check(frame, g)?;
+            let ts = need_temporal(frame, "ET")?;
+            let v = eval_iv(frame, a, env, budget)?;
+            let k_sets = member_knowledge(frame, g, &v.hi);
+            Ok(upper_only(
+                n,
+                temporal::everyone_ts_set(ts, g, *stamp, &k_sets),
+            ))
+        }
+        Formula::CommonEps(g, eps, a) => {
+            group_check(frame, g)?;
+            let ts = need_temporal(frame, "Ceps")?;
+            let v = eval_iv(frame, a, env, budget)?;
+            let mut x = WorldSet::full(n);
+            loop {
+                budget.check_now(Phase::Eval)?;
+                let arg = v.hi.intersection(&x);
+                let k_sets = member_knowledge(frame, g, &arg);
+                let next = temporal::everyone_eps_set(ts, g, *eps, &k_sets);
+                if next == x {
+                    return Ok(upper_only(n, x));
+                }
+                x = next;
+            }
+        }
+        Formula::CommonEv(g, a) => {
+            group_check(frame, g)?;
+            let ts = need_temporal(frame, "Cev")?;
+            let v = eval_iv(frame, a, env, budget)?;
+            let mut x = WorldSet::full(n);
+            loop {
+                budget.check_now(Phase::Eval)?;
+                let arg = v.hi.intersection(&x);
+                let k_sets = member_knowledge(frame, g, &arg);
+                let next = temporal::everyone_ev_set(ts, g, &k_sets);
+                if next == x {
+                    return Ok(upper_only(n, x));
+                }
+                x = next;
+            }
+        }
+        Formula::CommonTs(g, stamp, a) => {
+            group_check(frame, g)?;
+            let ts = need_temporal(frame, "CT")?;
+            let v = eval_iv(frame, a, env, budget)?;
+            let mut x = WorldSet::full(n);
+            loop {
+                budget.check_now(Phase::Eval)?;
+                let arg = v.hi.intersection(&x);
+                let k_sets = member_knowledge(frame, g, &arg);
+                let next = temporal::everyone_ts_set(ts, g, *stamp, &k_sets);
+                if next == x {
+                    return Ok(upper_only(n, x));
+                }
+                x = next;
+            }
+        }
+    }
+}
+
+/// Iterates the `(lo, hi)` pair of a fixed-point body until both bounds
+/// stabilise. Positivity of `x` in `body` makes the lower bound of the
+/// body monotone in `env[x].lo` and the upper bound monotone in
+/// `env[x].hi`, so both sequences are monotone from their start value
+/// and the pair converges on the finite lattice.
+fn fixpoint_iv(
+    frame: &dyn Frame,
+    x: &str,
+    body: &Formula,
+    env: &mut Env,
+    budget: &Budget,
+    start: IntervalSet,
+) -> Result<IntervalSet, EvalError> {
+    let shadowed = env.insert(x.to_string(), start);
+    let result = loop {
+        match budget.check_now(Phase::Eval) {
+            Ok(()) => {}
+            Err(e) => break Err(EvalError::Limit(e)),
+        }
+        let cur = env.get(x).cloned().expect("just inserted");
+        let next = match eval_iv(frame, body, env, budget) {
+            Ok(v) => v,
+            Err(e) => break Err(e),
+        };
+        if next == cur {
+            break Ok(next);
+        }
+        env.insert(x.to_string(), next);
+    };
+    match shadowed {
+        Some(old) => {
+            env.insert(x.to_string(), old);
+        }
+        None => {
+            env.remove(x);
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::evaluate;
+    use crate::parser::parse;
+    use hm_kripke::{random_model, RandomModelSpec};
+    use hm_limits::Limits;
+
+    const FORMULAS: &[&str] = &[
+        "q0",
+        "!q0 & q1",
+        "q0 -> q1",
+        "q0 <-> q1",
+        "K0 q0",
+        "!K0 q0",
+        "E{0,1} q0 | K1 q1",
+        "S{0,1} q0 & D{0,1} q1",
+        "C{0,1} (q0 | !q0)",
+        "nu X. E{0,1} (q0 & $X)",
+        "mu X. q0 | S{0,1} $X",
+    ];
+
+    #[test]
+    fn propositional_intervals_are_exact() {
+        for seed in 0..5 {
+            let m = random_model(seed, RandomModelSpec::default());
+            for src in ["q0", "!q0 & q1", "q0 -> q1", "q0 <-> q1", "true | false"] {
+                let f = parse(src).unwrap();
+                let v = evaluate_interval(&m, &f, &Budget::unlimited()).unwrap();
+                assert!(v.is_exact(), "{src}");
+                assert_eq!(*v.lo(), evaluate(&m, &f).unwrap(), "{src}");
+            }
+        }
+    }
+
+    #[test]
+    fn intervals_bracket_the_classical_verdict() {
+        // On an exact frame the interval must sandwich the classical
+        // truth set — the degenerate case of the soundness guarantee.
+        for seed in 0..10 {
+            let m = random_model(seed, RandomModelSpec::default());
+            for src in FORMULAS {
+                let f = parse(src).unwrap();
+                let exact = evaluate(&m, &f).unwrap();
+                let v = evaluate_interval(&m, &f, &Budget::unlimited()).unwrap();
+                assert!(v.lo().is_subset(&exact), "seed {seed}: {src}");
+                assert!(exact.is_subset(v.hi()), "seed {seed}: {src}");
+            }
+        }
+    }
+
+    #[test]
+    fn negated_knowledge_can_be_definite() {
+        // ¬K φ: the upper bound of K is exact on an exact frame, so its
+        // complement is a genuine lower bound — refutations of knowledge
+        // survive truncation.
+        let m = random_model(3, RandomModelSpec::default());
+        let k = parse("K0 q0").unwrap();
+        let nk = parse("!K0 q0").unwrap();
+        let v = evaluate_interval(&m, &nk, &Budget::unlimited()).unwrap();
+        assert_eq!(*v.lo(), evaluate(&m, &k).unwrap().complement());
+        assert!(v.hi().is_full());
+    }
+
+    #[test]
+    fn verdict_classification() {
+        let m = random_model(0, RandomModelSpec::default());
+        let v = evaluate_interval(&m, &parse("K0 q0").unwrap(), &Budget::unlimited()).unwrap();
+        for w in 0..m.num_worlds() {
+            let w = WorldId::new(w);
+            match v.status_at(w) {
+                Some(true) => assert!(v.lo().contains(w)),
+                Some(false) => assert!(!v.hi().contains(w)),
+                None => assert!(!v.lo().contains(w) && v.hi().contains(w)),
+            }
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_surfaces_as_limit() {
+        let m = random_model(0, RandomModelSpec::default());
+        let budget = Limits::none().max_states_visited(1).budget();
+        // Force past the amortized window so the ceiling actually fires.
+        let f = parse("nu X. E{0,1} (q0 & $X)").unwrap();
+        let mut last = Ok(IntervalSet::exact(WorldSet::empty(m.num_worlds())));
+        for _ in 0..2048 {
+            last = evaluate_interval(&m, &f, &budget);
+            if last.is_err() {
+                break;
+            }
+        }
+        assert!(matches!(last, Err(EvalError::Limit(_))));
+    }
+
+    #[test]
+    fn well_formedness_errors_match_classical() {
+        let m = random_model(0, RandomModelSpec::default());
+        let b = Budget::unlimited();
+        assert!(matches!(
+            evaluate_interval(&m, &Formula::atom("zap"), &b),
+            Err(EvalError::UnknownAtom(_))
+        ));
+        assert!(matches!(
+            evaluate_interval(&m, &Formula::var("X"), &b),
+            Err(EvalError::UnboundVar(_))
+        ));
+        assert!(matches!(
+            evaluate_interval(&m, &parse("next q0").unwrap(), &b),
+            Err(EvalError::NoTemporalStructure(_))
+        ));
+    }
+}

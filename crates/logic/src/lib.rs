@@ -61,6 +61,7 @@ mod compile;
 mod eval;
 mod formula;
 mod frame;
+mod interval;
 pub mod temporal;
 
 mod parser;
@@ -70,4 +71,5 @@ pub use compile::{compile, Bound, CompiledFormula, EvalCache};
 pub use eval::{evaluate, evaluate_tree, holds_at, is_valid, EvalError};
 pub use formula::{Formula, F};
 pub use frame::{AtomTable, Frame, TemporalStructure};
+pub use interval::{evaluate_interval, IntervalSet};
 pub use parser::{parse, ParseError};

@@ -30,8 +30,10 @@ pub trait Adversary {
     /// of the execution, sent at `sent_at` from `from` to `to`. Outcomes
     /// must satisfy `sent_at ≤ t ≤ horizon` for `Delivered(t)`.
     ///
-    /// Returning an empty vector is an error (the executor panics): every
-    /// message needs at least one outcome, if only [`Outcome::Lost`].
+    /// Returning an empty vector is an error — the enumerator reports it
+    /// as [`EnumerateError::NoOutcome`](crate::EnumerateError::NoOutcome)
+    /// with this message's `send_index`: every message needs at least one
+    /// outcome, if only [`Outcome::Lost`].
     ///
     /// Listing the same outcome twice is allowed but pointless: identical
     /// outcomes provably yield identical views at every point, so the

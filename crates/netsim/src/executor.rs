@@ -9,6 +9,7 @@
 use crate::adversary::{Adversary, Outcome};
 use crate::protocol::{Command, JointProtocol, LocalView, SeenEvent};
 use hm_kripke::AgentId;
+use hm_limits::{failpoints, Admission, Budget, LimitExceeded, Limits, Phase, Resource};
 use hm_runs::{Event, Run, RunBuilder, System, TimedEvent};
 use std::fmt;
 
@@ -92,22 +93,72 @@ impl ExecutionSpec {
     }
 }
 
-/// Errors from enumeration.
+/// Errors from enumeration. Every failure mode of the enumerator is
+/// typed — including worker panics, which are contained and reported
+/// instead of propagated as process aborts.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum EnumerateError {
-    /// More runs than `max_runs` would be generated.
-    RunLimit(usize),
+    /// A resource ceiling, deadline, or cancellation stopped the
+    /// enumeration (strict mode; in partial mode run-budget and
+    /// deadline overruns truncate instead — see
+    /// [`enumerate_runs_budgeted`]).
+    Limit(LimitExceeded),
+    /// The adversary returned no outcome for the `send_index`-th
+    /// message. Every message needs at least one outcome, if only
+    /// [`Outcome::Lost`].
+    NoOutcome {
+        /// Global sequence number of the offending send.
+        send_index: usize,
+    },
+    /// A parallel enumeration worker panicked; the payload message is
+    /// preserved for diagnosis. The other workers' state is discarded
+    /// cleanly.
+    WorkerPanic {
+        /// The panic payload, if it was a string.
+        message: String,
+    },
 }
 
 impl fmt::Display for EnumerateError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            EnumerateError::RunLimit(n) => write!(f, "run enumeration exceeded limit of {n}"),
+            EnumerateError::Limit(e) => write!(f, "{e}"),
+            EnumerateError::NoOutcome { send_index } => {
+                write!(f, "adversary returned no outcomes for message {send_index}")
+            }
+            EnumerateError::WorkerPanic { message } => {
+                write!(f, "enumeration worker panicked: {message}")
+            }
         }
     }
 }
 
 impl std::error::Error for EnumerateError {}
+
+impl From<LimitExceeded> for EnumerateError {
+    fn from(e: LimitExceeded) -> Self {
+        EnumerateError::Limit(e)
+    }
+}
+
+/// The outcome of a budgeted enumeration: the (name-sorted) runs plus a
+/// flag recording whether a partial-mode budget cut the run set short.
+/// Truncation drops whole runs, never prefixes — every run present is a
+/// complete run of the real system.
+#[derive(Debug, Clone)]
+pub struct Enumeration {
+    /// The enumerated runs, sorted by name.
+    pub runs: Vec<Run>,
+    /// `true` when a partial-mode budget stopped enumeration early.
+    pub truncated: bool,
+}
+
+/// Internal unwind signal of the DFS: a hard error, or an orderly stop
+/// (partial-mode truncation) that keeps the runs admitted so far.
+enum Interrupt {
+    Err(EnumerateError),
+    Stop,
+}
 
 /// The medium's choice for one message, as recorded in run names:
 /// `d{delta}` for a delivery `delta` ticks after the send, `x` for a loss.
@@ -219,12 +270,11 @@ struct Enumerator<'a> {
     protocol: &'a dyn JointProtocol,
     adversary: &'a dyn Adversary,
     spec: &'a ExecutionSpec,
-    max_runs: usize,
-    /// Shared run counter for parallel enumeration: when present, the
-    /// limit is checked against the *total* across all workers (so a
-    /// blow-up stops every worker promptly), not this enumerator's own
-    /// run list.
-    produced: Option<&'a std::sync::atomic::AtomicUsize>,
+    /// The resource meter. Its run counter is shared across clones, so
+    /// parallel workers enforce one global ceiling (a blow-up stops
+    /// every worker promptly), while each worker keeps its own amortized
+    /// tick cell.
+    budget: &'a Budget,
     runs: Vec<Run>,
     /// Reused buffer for each step's `LocalView::events`.
     seen: Vec<SeenEvent>,
@@ -245,13 +295,21 @@ impl Enumerator<'_> {
     /// branch are re-issued on resume; this is sound because protocols
     /// are deterministic functions of the view and the view only contains
     /// events strictly before the current tick.
-    fn explore(
-        &mut self,
-        sim: Sim,
-        t0: u64,
-        proc0: usize,
-        cmd0: usize,
-    ) -> Result<(), EnumerateError> {
+    /// Maps a budget failure to the DFS unwind signal: under partial
+    /// mode, deadline overruns and cancellation stop enumeration in an
+    /// orderly way (keeping admitted runs); everything else — and every
+    /// failure in strict mode — is a hard typed error.
+    fn interrupted(&self, e: LimitExceeded) -> Interrupt {
+        if self.budget.allows_partial()
+            && matches!(e.resource, Resource::Deadline | Resource::Cancelled)
+        {
+            Interrupt::Stop
+        } else {
+            Interrupt::Err(EnumerateError::Limit(e))
+        }
+    }
+
+    fn explore(&mut self, sim: Sim, t0: u64, proc0: usize, cmd0: usize) -> Result<(), Interrupt> {
         let tasks = self.drive(sim, t0, proc0, cmd0, false)?;
         debug_assert!(tasks.is_empty(), "recursive mode never yields tasks");
         Ok(())
@@ -268,7 +326,7 @@ impl Enumerator<'_> {
         t0: u64,
         proc0: usize,
         cmd0: usize,
-    ) -> Result<Vec<Task>, EnumerateError> {
+    ) -> Result<Vec<Task>, Interrupt> {
         self.drive(sim, t0, proc0, cmd0, true)
     }
 
@@ -284,10 +342,13 @@ impl Enumerator<'_> {
         proc0: usize,
         cmd0: usize,
         split: bool,
-    ) -> Result<Vec<Task>, EnumerateError> {
+    ) -> Result<Vec<Task>, Interrupt> {
         let spec = self.spec;
         let n = spec.num_procs;
         for t in t0..=spec.horizon {
+            self.budget
+                .tick(Phase::Enumerate)
+                .map_err(|e| self.interrupted(e))?;
             let (start_proc, start_cmd) = if t == t0 { (proc0, cmd0) } else { (0, 0) };
             if start_proc == 0 && start_cmd == 0 {
                 // Deliver messages scheduled for t, in send order.
@@ -333,10 +394,11 @@ impl Enumerator<'_> {
                                 &msg,
                                 spec.horizon,
                             );
-                            assert!(
-                                !options.is_empty(),
-                                "adversary returned no outcomes for message {seq}"
-                            );
+                            if options.is_empty() {
+                                return Err(Interrupt::Err(EnumerateError::NoOutcome {
+                                    send_index: seq,
+                                }));
+                            }
                             dedup_outcomes(&mut options);
                             sim.send_count += 1;
                             let send = SendCtx {
@@ -374,22 +436,14 @@ impl Enumerator<'_> {
                 }
             }
         }
-        self.materialise(sim);
-        match self.produced {
-            // fetch_add returns the previous total, so `>= max` means
-            // this run pushed the total over the limit — or another
-            // worker already did.
-            Some(counter) => {
-                if counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed) >= self.max_runs {
-                    return Err(EnumerateError::RunLimit(self.max_runs));
-                }
-            }
-            None => {
-                if self.runs.len() > self.max_runs {
-                    return Err(EnumerateError::RunLimit(self.max_runs));
-                }
-            }
+        // Admission before materialisation: a run past the budget is
+        // never pushed, so partial results contain admitted runs only.
+        match self.budget.admit_run(Phase::Enumerate) {
+            Ok(Admission::Admit) => {}
+            Ok(Admission::Truncate) => return Err(Interrupt::Stop),
+            Err(e) => return Err(Interrupt::Err(EnumerateError::Limit(e))),
         }
+        self.materialise(sim);
         Ok(Vec::new())
     }
 
@@ -453,31 +507,66 @@ fn dedup_outcomes(options: &mut Vec<Outcome>) {
 /// never offer duplicates, so for them the run set is exactly the product
 /// of the per-message choices).
 ///
+/// This is the convenience wrapper with a bare run ceiling; see
+/// [`enumerate_runs_budgeted`] for deadlines, cancellation, and partial
+/// results.
+///
 /// # Errors
 ///
-/// Returns [`EnumerateError::RunLimit`] if more than `max_runs` runs would
-/// be produced.
+/// Returns [`EnumerateError::Limit`] if more than `max_runs` runs would
+/// be produced, and [`EnumerateError::NoOutcome`] if the adversary offers
+/// no outcome for some message.
 pub fn enumerate_runs(
     protocol: &dyn JointProtocol,
     adversary: &dyn Adversary,
     spec: &ExecutionSpec,
     max_runs: usize,
 ) -> Result<Vec<Run>, EnumerateError> {
+    let budget = Limits::none().max_runs(max_runs as u64).budget();
+    enumerate_runs_budgeted(protocol, adversary, spec, &budget).map(|e| e.runs)
+}
+
+/// [`enumerate_runs`] under a full resource [`Budget`]: run ceiling,
+/// visited-state ceiling, deadline, and cancellation are all honored.
+///
+/// Under a strict budget any exhaustion is a typed
+/// [`EnumerateError::Limit`]. Under [`Limits::allow_partial`], exceeding
+/// the run ceiling, the deadline, or cancellation instead *truncates*:
+/// the runs admitted so far are returned with
+/// [`Enumeration::truncated`]` == true`. Truncation drops whole runs only
+/// — every run present is complete, which is what keeps run-local
+/// temporal operators exact under three-valued evaluation downstream.
+///
+/// # Errors
+///
+/// [`EnumerateError::Limit`] on budget exhaustion (strict mode, or a hard
+/// resource in partial mode); [`EnumerateError::NoOutcome`] if the
+/// adversary offers no outcome for some message.
+pub fn enumerate_runs_budgeted(
+    protocol: &dyn JointProtocol,
+    adversary: &dyn Adversary,
+    spec: &ExecutionSpec,
+    budget: &Budget,
+) -> Result<Enumeration, EnumerateError> {
+    failpoints::check("netsim::enumerate", Phase::Enumerate)?;
     let mut enumerator = Enumerator {
         protocol,
         adversary,
         spec,
-        max_runs,
-        produced: None,
+        budget,
         runs: Vec::new(),
         seen: Vec::new(),
         due: Vec::new(),
     };
-    enumerator.explore(Sim::new(spec.num_procs), 0, 0, 0)?;
+    let truncated = match enumerator.explore(Sim::new(spec.num_procs), 0, 0, 0) {
+        Ok(()) => false,
+        Err(Interrupt::Stop) => true,
+        Err(Interrupt::Err(e)) => return Err(e),
+    };
     let mut runs = enumerator.runs;
     // Canonical order: sort by name for reproducibility.
     runs.sort_by(|a, b| a.name.cmp(&b.name));
-    Ok(runs)
+    Ok(Enumeration { runs, truncated })
 }
 
 /// A resumable branch of the exploration: the simulation state plus the
@@ -508,28 +597,66 @@ struct Task {
 ///
 /// # Errors
 ///
-/// Returns [`EnumerateError::RunLimit`] if more than `max_runs` runs
-/// would be produced. The limit is enforced through one counter shared
-/// by all workers, so on a blow-up every worker sees the overshoot at
-/// its next materialised run and the whole enumeration stops promptly —
-/// no worker keeps exploring its subtree to a private limit.
+/// Returns [`EnumerateError::Limit`] if more than `max_runs` runs would
+/// be produced. The ceiling is enforced through one counter shared by
+/// all workers, so on a blow-up every worker sees the overshoot at its
+/// next materialised run and the whole enumeration stops promptly — no
+/// worker keeps exploring its subtree to a private limit.
 pub fn enumerate_runs_parallel(
     protocol: &(dyn JointProtocol + Sync),
     adversary: &(dyn Adversary + Sync),
     spec: &ExecutionSpec,
     max_runs: usize,
 ) -> Result<Vec<Run>, EnumerateError> {
-    let threads = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1);
+    let budget = Limits::none().max_runs(max_runs as u64).budget();
+    enumerate_runs_parallel_budgeted(protocol, adversary, spec, &budget).map(|e| e.runs)
+}
+
+/// [`enumerate_runs_parallel`] under a full resource [`Budget`]. Budget
+/// semantics match [`enumerate_runs_budgeted`]: the ceilings, deadline,
+/// and cancellation are global across workers (the shared counters live
+/// behind one `Arc`; each worker clones the budget handle, keeping its
+/// own amortized tick cell). A worker that panics is caught at join and
+/// surfaced as [`EnumerateError::WorkerPanic`] instead of aborting the
+/// caller.
+///
+/// Under [`Limits::allow_partial`], a worker that runs out of budget
+/// keeps the runs it already admitted and stops; the merged result is
+/// flagged [`Enumeration::truncated`]. Note the *set* of admitted runs
+/// under a partial ceiling depends on scheduling — only its size is
+/// bounded — unlike the full enumeration, which is deterministic.
+///
+/// # Errors
+///
+/// [`EnumerateError::Limit`] on strict budget exhaustion,
+/// [`EnumerateError::NoOutcome`] on an adversary with no outcome,
+/// [`EnumerateError::WorkerPanic`] if a worker thread panics.
+pub fn enumerate_runs_parallel_budgeted(
+    protocol: &(dyn JointProtocol + Sync),
+    adversary: &(dyn Adversary + Sync),
+    spec: &ExecutionSpec,
+    budget: &Budget,
+) -> Result<Enumeration, EnumerateError> {
+    failpoints::check("netsim::enumerate", Phase::Enumerate)?;
+    // `HM_NETSIM_THREADS` overrides the detected parallelism — to pin
+    // worker counts in tests/benches, or to force the sequential
+    // fallback (=1) / real workers on single-core machines.
+    let threads = std::env::var("HM_NETSIM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        });
     let target_tasks = threads * 4;
-    let produced = std::sync::atomic::AtomicUsize::new(0);
+    let mut truncated = false;
     let mut splitter = Enumerator {
         protocol,
         adversary,
         spec,
-        max_runs,
-        produced: Some(&produced),
+        budget,
         runs: Vec::new(),
         seen: Vec::new(),
         due: Vec::new(),
@@ -537,24 +664,41 @@ pub fn enumerate_runs_parallel(
     // Breadth-first split until we have enough independent tasks (or the
     // tree is exhausted). Completed branch-free prefixes land in
     // `splitter.runs` directly.
-    let mut tasks = splitter.run_until_branch(Sim::new(spec.num_procs), 0, 0, 0)?;
-    while !tasks.is_empty() && tasks.len() < target_tasks {
+    let mut tasks = match splitter.run_until_branch(Sim::new(spec.num_procs), 0, 0, 0) {
+        Ok(tasks) => tasks,
+        Err(Interrupt::Stop) => {
+            truncated = true;
+            Vec::new()
+        }
+        Err(Interrupt::Err(e)) => return Err(e),
+    };
+    while !truncated && !tasks.is_empty() && tasks.len() < target_tasks {
         let task = tasks.remove(0);
-        let children = splitter.run_until_branch(task.sim, task.t, task.proc, task.cmd)?;
-        tasks.extend(children);
+        match splitter.run_until_branch(task.sim, task.t, task.proc, task.cmd) {
+            Ok(children) => tasks.extend(children),
+            Err(Interrupt::Stop) => {
+                truncated = true;
+                tasks.clear();
+            }
+            Err(Interrupt::Err(e)) => return Err(e),
+        }
     }
     let mut runs = std::mem::take(&mut splitter.runs);
     if tasks.len() <= 1 || threads == 1 {
         // Not enough branching to pay for threads: finish sequentially.
         for task in tasks {
-            splitter.explore(task.sim, task.t, task.proc, task.cmd)?;
-            runs.append(&mut splitter.runs);
+            match splitter.explore(task.sim, task.t, task.proc, task.cmd) {
+                Ok(()) => {}
+                Err(Interrupt::Stop) => {
+                    truncated = true;
+                    break;
+                }
+                Err(Interrupt::Err(e)) => return Err(e),
+            }
         }
-        if runs.len() > max_runs {
-            return Err(EnumerateError::RunLimit(max_runs));
-        }
+        runs.append(&mut splitter.runs);
         runs.sort_by(|a, b| a.name.cmp(&b.name));
-        return Ok(runs);
+        return Ok(Enumeration { runs, truncated });
     }
     let chunk = tasks.len().div_ceil(threads);
     let chunks: Vec<Vec<Task>> = {
@@ -569,42 +713,61 @@ pub fn enumerate_runs_parallel(
         }
         out
     };
-    let results: Vec<Result<Vec<Run>, EnumerateError>> = std::thread::scope(|scope| {
+    type WorkerResult = Result<(Vec<Run>, bool), EnumerateError>;
+    let results: Vec<WorkerResult> = std::thread::scope(|scope| {
         let handles: Vec<_> = chunks
             .into_iter()
             .map(|chunk| {
-                let produced = &produced;
-                scope.spawn(move || {
+                // `Budget` is deliberately `!Sync` (amortized tick cell):
+                // each worker gets a clone sharing the global counters.
+                let budget = budget.clone();
+                scope.spawn(move || -> WorkerResult {
+                    failpoints::check("netsim::worker", Phase::Enumerate)?;
                     let mut worker = Enumerator {
                         protocol,
                         adversary,
                         spec,
-                        max_runs,
-                        produced: Some(produced),
+                        budget: &budget,
                         runs: Vec::new(),
                         seen: Vec::new(),
                         due: Vec::new(),
                     };
+                    let mut truncated = false;
                     for task in chunk {
-                        worker.explore(task.sim, task.t, task.proc, task.cmd)?;
+                        match worker.explore(task.sim, task.t, task.proc, task.cmd) {
+                            Ok(()) => {}
+                            Err(Interrupt::Stop) => {
+                                truncated = true;
+                                break;
+                            }
+                            Err(Interrupt::Err(e)) => return Err(e),
+                        }
                     }
-                    Ok(worker.runs)
+                    Ok((worker.runs, truncated))
                 })
             })
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
+            .map(|h| {
+                h.join().unwrap_or_else(|payload| {
+                    let message = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "non-string panic payload".to_string());
+                    Err(EnumerateError::WorkerPanic { message })
+                })
+            })
             .collect()
     });
     for r in results {
-        runs.extend(r?);
-    }
-    if runs.len() > max_runs {
-        return Err(EnumerateError::RunLimit(max_runs));
+        let (worker_runs, worker_truncated) = r?;
+        runs.extend(worker_runs);
+        truncated |= worker_truncated;
     }
     runs.sort_by(|a, b| a.name.cmp(&b.name));
-    Ok(runs)
+    Ok(Enumeration { runs, truncated })
 }
 
 /// Enumerates runs over several execution specs (e.g. all initial
@@ -612,24 +775,67 @@ pub fn enumerate_runs_parallel(
 ///
 /// # Errors
 ///
-/// Returns [`EnumerateError::RunLimit`] if the *total* number of runs
-/// exceeds `max_runs`.
+/// Returns [`EnumerateError::Limit`] if the *total* number of runs
+/// across specs exceeds `max_runs` — one budget is shared by every
+/// spec's enumeration.
 pub fn enumerate_system(
     protocol: &dyn JointProtocol,
     adversary: &dyn Adversary,
     specs: &[ExecutionSpec],
     max_runs: usize,
 ) -> Result<System, EnumerateError> {
+    let budget = Limits::none().max_runs(max_runs as u64).budget();
+    let enumeration = enumerate_system_budgeted(protocol, adversary, specs, &budget)?;
+    Ok(enumeration_to_system(enumeration))
+}
+
+/// [`enumerate_system`] under a full resource [`Budget`], shared across
+/// all specs. Budget semantics match [`enumerate_runs_budgeted`]; the
+/// per-spec run lists are concatenated in spec order (each sorted by
+/// name), so output is deterministic for a full enumeration.
+///
+/// # Errors
+///
+/// As for [`enumerate_runs_budgeted`].
+pub fn enumerate_system_budgeted(
+    protocol: &dyn JointProtocol,
+    adversary: &dyn Adversary,
+    specs: &[ExecutionSpec],
+    budget: &Budget,
+) -> Result<Enumeration, EnumerateError> {
     assert!(!specs.is_empty(), "need at least one execution spec");
     let mut all = Vec::new();
+    let mut truncated = false;
     for spec in specs {
-        let runs = enumerate_runs(protocol, adversary, spec, max_runs)?;
-        all.extend(runs);
-        if all.len() > max_runs {
-            return Err(EnumerateError::RunLimit(max_runs));
+        let e = enumerate_runs_budgeted(protocol, adversary, spec, budget)?;
+        all.extend(e.runs);
+        if e.truncated {
+            // The shared run counter is exhausted: later specs would
+            // admit nothing, so stop cleanly here.
+            truncated = true;
+            break;
         }
     }
-    Ok(System::new(all))
+    Ok(Enumeration {
+        runs: all,
+        truncated,
+    })
+}
+
+/// Converts an [`Enumeration`] into a [`System`], carrying the truncation
+/// flag across.
+///
+/// # Panics
+///
+/// Panics if the enumeration holds no runs (a [`System`] cannot be
+/// empty); callers handling partial results should check
+/// [`Enumeration::runs`]` .is_empty()` first.
+pub fn enumeration_to_system(e: Enumeration) -> System {
+    let mut sys = System::new(e.runs);
+    if e.truncated {
+        sys.mark_truncated();
+    }
+    sys
 }
 
 #[cfg(test)]
@@ -706,8 +912,82 @@ mod tests {
             1,
         )
         .unwrap_err();
-        assert_eq!(err, EnumerateError::RunLimit(1));
+        match err {
+            EnumerateError::Limit(e) => {
+                assert_eq!(e.resource, Resource::Runs);
+                assert_eq!(e.phase, Phase::Enumerate);
+                assert_eq!(e.limit, 1);
+                assert_eq!(e.spent, 2);
+            }
+            other => panic!("expected Limit, got {other:?}"),
+        }
         assert!(err.to_string().contains("limit"));
+    }
+
+    #[test]
+    fn partial_budget_truncates_instead_of_failing() {
+        let budget = Limits::none().max_runs(1).allow_partial(true).budget();
+        let e = enumerate_runs_budgeted(
+            &one_shot(),
+            &LossyFixedDelay { delay: 1 },
+            &ExecutionSpec::simple(2, 3),
+            &budget,
+        )
+        .unwrap();
+        assert!(e.truncated);
+        assert_eq!(e.runs.len(), 1, "runs admitted before the ceiling remain");
+
+        // A generous partial budget does not truncate.
+        let budget = Limits::none().max_runs(16).allow_partial(true).budget();
+        let e = enumerate_runs_budgeted(
+            &one_shot(),
+            &LossyFixedDelay { delay: 1 },
+            &ExecutionSpec::simple(2, 3),
+            &budget,
+        )
+        .unwrap();
+        assert!(!e.truncated);
+        assert_eq!(e.runs.len(), 2);
+    }
+
+    #[test]
+    fn cancelled_token_stops_enumeration() {
+        let cancel = hm_limits::CancelToken::new();
+        cancel.cancel();
+        let budget = Limits::none().cancel(cancel).budget();
+        let err = enumerate_runs_budgeted(
+            &one_shot(),
+            &LossyFixedDelay { delay: 1 },
+            &ExecutionSpec::simple(2, 3),
+            &budget,
+        )
+        .unwrap_err();
+        match err {
+            EnumerateError::Limit(e) => assert_eq!(e.resource, Resource::Cancelled),
+            other => panic!("expected Limit(Cancelled), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_adversary_outcome_is_typed_error() {
+        struct NoChoice;
+        impl Adversary for NoChoice {
+            fn outcomes(
+                &self,
+                _send_index: usize,
+                _sent_at: u64,
+                _from: AgentId,
+                _to: AgentId,
+                _msg: &Message,
+                _horizon: u64,
+            ) -> Vec<Outcome> {
+                Vec::new()
+            }
+        }
+        let err =
+            enumerate_runs(&one_shot(), &NoChoice, &ExecutionSpec::simple(2, 3), 10).unwrap_err();
+        assert_eq!(err, EnumerateError::NoOutcome { send_index: 0 });
+        assert!(err.to_string().contains("no outcomes"));
     }
 
     #[test]
@@ -790,7 +1070,27 @@ mod tests {
             1,
         )
         .unwrap_err();
-        assert_eq!(err, EnumerateError::RunLimit(1));
+        match err {
+            EnumerateError::Limit(e) => {
+                assert_eq!(e.resource, Resource::Runs);
+                assert_eq!(e.limit, 1);
+            }
+            other => panic!("expected Limit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parallel_partial_budget_truncates() {
+        let budget = Limits::none().max_runs(1).allow_partial(true).budget();
+        let e = enumerate_runs_parallel_budgeted(
+            &one_shot(),
+            &LossyFixedDelay { delay: 1 },
+            &ExecutionSpec::simple(2, 3),
+            &budget,
+        )
+        .unwrap();
+        assert!(e.truncated);
+        assert_eq!(e.runs.len(), 1);
     }
 
     #[test]

@@ -27,7 +27,8 @@ pub use adversary::{
     SynchronousDelay, UnboundedDelay,
 };
 pub use executor::{
-    enumerate_runs, enumerate_runs_parallel, enumerate_system, Clocks, EnumerateError,
-    ExecutionSpec,
+    enumerate_runs, enumerate_runs_budgeted, enumerate_runs_parallel,
+    enumerate_runs_parallel_budgeted, enumerate_system, enumerate_system_budgeted,
+    enumeration_to_system, Clocks, EnumerateError, Enumeration, ExecutionSpec,
 };
 pub use protocol::{Command, FnProtocol, JointProtocol, LocalView, SeenEvent, Silent};

@@ -11,9 +11,13 @@
 //!   communication prevents `C^ε ψ`.
 
 use crate::adversary::{InstantOrLostWindow, LossyFixedDelay};
-use crate::executor::{enumerate_runs, Clocks, EnumerateError, ExecutionSpec};
+use crate::executor::{
+    enumerate_runs, enumerate_runs_budgeted, enumerate_runs_parallel_budgeted, Clocks,
+    EnumerateError, Enumeration, ExecutionSpec,
+};
 use crate::protocol::{Command, FnProtocol, LocalView};
 use hm_kripke::AgentId;
+use hm_limits::Budget;
 use hm_runs::{Event, Message, Run, RunBuilder, RunId, System};
 
 /// Message tag used by the generals' messenger.
@@ -50,29 +54,49 @@ pub fn generals_system(horizon: u64) -> Result<System, EnumerateError> {
 /// ([`enumerate_runs_parallel`](crate::enumerate_runs_parallel)); the run
 /// set is identical either way.
 pub fn generals_system_opts(horizon: u64, parallel: bool) -> Result<System, EnumerateError> {
+    let budget = hm_limits::Limits::none().max_runs(4096).budget();
+    let e = generals_system_budgeted(horizon, parallel, &budget)?;
+    Ok(System::new(e.runs))
+}
+
+/// [`generals_system_opts`] under a caller-supplied resource [`Budget`]
+/// (see [`enumerate_runs_budgeted`] for the strict/partial semantics).
+/// One budget spans both intent configurations, so a run ceiling bounds
+/// the *total*.
+pub fn generals_system_budgeted(
+    horizon: u64,
+    parallel: bool,
+    budget: &Budget,
+) -> Result<Enumeration, EnumerateError> {
     let protocol = handshake_protocol();
-    let runs = enumerate_intents(&protocol, horizon, parallel)?;
-    Ok(System::new(runs))
+    enumerate_intents(&protocol, horizon, parallel, budget)
 }
 
 fn enumerate_intents(
     protocol: &(dyn crate::protocol::JointProtocol + Sync),
     horizon: u64,
     parallel: bool,
-) -> Result<Vec<Run>, EnumerateError> {
+    budget: &Budget,
+) -> Result<Enumeration, EnumerateError> {
     let mut runs = Vec::new();
+    let mut truncated = false;
     for intent in 0..=1u64 {
         let spec = ExecutionSpec::simple(2, horizon)
             .with_initial_states(vec![intent, 0])
             .with_label(format!("intent{intent}"));
         let adversary = LossyFixedDelay { delay: 1 };
-        runs.extend(if parallel {
-            crate::executor::enumerate_runs_parallel(protocol, &adversary, &spec, 4096)?
+        let e = if parallel {
+            enumerate_runs_parallel_budgeted(protocol, &adversary, &spec, budget)?
         } else {
-            enumerate_runs(protocol, &adversary, &spec, 4096)?
-        });
+            enumerate_runs_budgeted(protocol, &adversary, &spec, budget)?
+        };
+        runs.extend(e.runs);
+        if e.truncated {
+            truncated = true;
+            break;
+        }
     }
-    Ok(runs)
+    Ok(Enumeration { runs, truncated })
 }
 
 /// The handshake rule: A sends message `k` when it wants to attack and
@@ -145,8 +169,9 @@ pub fn generals_attack_system(
         }
         cmds
     });
-    let runs = enumerate_intents(&protocol, horizon, false)?;
-    Ok(System::new(runs))
+    let budget = hm_limits::Limits::none().max_runs(4096).budget();
+    let e = enumerate_intents(&protocol, horizon, false, &budget)?;
+    Ok(System::new(e.runs))
 }
 
 /// `true` iff processor `i` attacks somewhere in `run`.

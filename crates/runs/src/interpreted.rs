@@ -14,9 +14,10 @@ use crate::run::Run;
 use crate::system::{Point, RunId, System};
 use crate::view::ViewFunction;
 use hm_kripke::{
-    coarsest_refinement, quotient_partitions, AgentGroup, AgentId, KripkeModel, Minimized,
+    coarsest_refinement_budgeted, quotient_partitions, AgentGroup, AgentId, KripkeModel, Minimized,
     ModelBuilder, Partition, WorldId, WorldSet,
 };
+use hm_limits::{failpoints, Budget, LimitExceeded, Phase};
 use hm_logic::{evaluate, AtomTable, EvalError, Formula, Frame, TemporalStructure};
 
 /// A fact predicate: the truth of a ground atom at each point of a run.
@@ -28,6 +29,7 @@ pub struct InterpretedSystemBuilder {
     view: Box<dyn ViewFunction>,
     facts: Vec<(String, FactFn)>,
     minimize: bool,
+    budget: Budget,
 }
 
 impl InterpretedSystemBuilder {
@@ -58,11 +60,43 @@ impl InterpretedSystemBuilder {
         self
     }
 
+    /// Attaches a resource [`Budget`]: construction charges one visited
+    /// state per point-sized unit of work (amortized), enforces the
+    /// world ceiling against the point count up front, and re-checks
+    /// deadlines/cancellation at minimisation rounds. Use
+    /// [`try_build`](Self::try_build) to observe the resulting errors.
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
     /// Materialises the interpreted system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a [`budget`](Self::budget) was attached and exceeded —
+    /// governed callers should use [`try_build`](Self::try_build).
     pub fn build(self) -> InterpretedSystem {
+        self.try_build()
+            .unwrap_or_else(|e| panic!("interpreted-system build exceeded its budget: {e}"))
+    }
+
+    /// Materialises the interpreted system under the attached budget.
+    ///
+    /// # Errors
+    ///
+    /// [`LimitExceeded`] when the point count exceeds the world ceiling
+    /// (checked before any allocation), the visited-state budget runs
+    /// out, the deadline passes, or the budget's token is cancelled. The
+    /// failpoint site `runs::build` can inject the same errors. On error
+    /// all partially-built state is dropped.
+    pub fn try_build(self) -> Result<InterpretedSystem, LimitExceeded> {
+        failpoints::check("runs::build", Phase::Build)?;
+        let budget = self.budget;
         let system = self.system;
         let num_points = system.num_points();
         let num_procs = system.num_procs();
+        budget.check_worlds(Phase::Build, num_points as u64)?;
 
         // World layout: runs in order, times ascending.
         let mut offsets = Vec::with_capacity(system.num_runs());
@@ -86,6 +120,7 @@ impl InterpretedSystemBuilder {
             let mut w = 0usize;
             for (_, r) in system.runs() {
                 for t in 0..=r.horizon {
+                    budget.tick(Phase::Build)?;
                     let v = fact(r, t);
                     if v {
                         b.set_atom(atom, WorldId::new(w), true);
@@ -108,6 +143,7 @@ impl InterpretedSystemBuilder {
             ids.clear();
             for (_, r) in system.runs() {
                 for t in 0..=r.horizon {
+                    budget.tick(Phase::Build)?;
                     scratch.clear();
                     self.view.encode_view(r, agent, t, &mut scratch);
                     ids.push(interner.intern(&scratch));
@@ -115,9 +151,18 @@ impl InterpretedSystemBuilder {
             }
             partitions.push(Partition::from_dense_keys(num_points, &ids, interner.len()));
         }
-        let quotient = self
-            .minimize
-            .then(|| quotient_of(&system, &offsets, &partitions, &self.facts, &fact_bits));
+        let quotient = if self.minimize {
+            Some(quotient_of(
+                &system,
+                &offsets,
+                &partitions,
+                &self.facts,
+                &fact_bits,
+                &budget,
+            )?)
+        } else {
+            None
+        };
         for (i, p) in partitions.into_iter().enumerate() {
             b.set_partition(AgentId::new(i), p);
         }
@@ -133,14 +178,14 @@ impl InterpretedSystemBuilder {
             }
         }
 
-        InterpretedSystem {
+        Ok(InterpretedSystem {
             system,
             model,
             offsets,
             clocks,
             view_name: self.view.name(),
             quotient,
-        }
+        })
     }
 }
 
@@ -156,7 +201,8 @@ fn quotient_of(
     partitions: &[Partition],
     facts: &[(String, FactFn)],
     fact_bits: &[Vec<bool>],
-) -> Minimized {
+    budget: &Budget,
+) -> Result<Minimized, LimitExceeded> {
     let n = system.num_points();
     // Initial partition: by fact valuation, one dense pair-refinement per
     // fact (meet with the fact's indicator partition).
@@ -168,7 +214,7 @@ fn quotient_of(
         init = init.meet(&Partition::from_dense_keys(n, &keys, 2));
     }
     let relations: Vec<&Partition> = partitions.iter().collect();
-    let classes = coarsest_refinement(init, &relations);
+    let classes = coarsest_refinement_budgeted(init, &relations, budget)?;
     let k = classes.num_blocks();
     // Representative (first point) per class and the point→class map.
     let mut class_of = vec![0u32; n];
@@ -206,10 +252,10 @@ fn quotient_of(
     {
         qb.set_partition(AgentId::new(i), part);
     }
-    Minimized {
+    Ok(Minimized {
         model: qb.build(),
         class_of,
-    }
+    })
 }
 
 /// A view-based knowledge interpretation over a finite system of runs.
@@ -257,7 +303,16 @@ impl InterpretedSystem {
             view: Box::new(view),
             facts: Vec::new(),
             minimize: false,
+            budget: Budget::unlimited(),
         }
+    }
+
+    /// `true` when the underlying run set was truncated by a resource
+    /// budget: classical verdicts on this frame are unsound in general —
+    /// use three-valued evaluation
+    /// ([`evaluate_interval`](hm_logic::evaluate_interval)) instead.
+    pub fn is_partial(&self) -> bool {
+        self.system.is_truncated()
     }
 
     /// The bisimulation quotient computed at build time, if

@@ -71,6 +71,10 @@ impl fmt::Display for Point {
 pub struct System {
     runs: Vec<Run>,
     num_procs: usize,
+    /// `true` when a resource budget truncated enumeration: the runs
+    /// present are complete, but further runs of the real system are
+    /// missing (see `hm-limits` and the partial-verdict machinery).
+    truncated: bool,
 }
 
 impl System {
@@ -92,7 +96,24 @@ impl System {
                 r.num_procs()
             );
         }
-        System { runs, num_procs }
+        System {
+            runs,
+            num_procs,
+            truncated: false,
+        }
+    }
+
+    /// Flags this system as a budget-truncated sample of a larger one.
+    /// Each present run is still complete (enumeration drops whole runs,
+    /// never prefixes), which is what keeps run-local temporal operators
+    /// exact under three-valued evaluation.
+    pub fn mark_truncated(&mut self) {
+        self.truncated = true;
+    }
+
+    /// `true` when the run set was truncated by a resource budget.
+    pub fn is_truncated(&self) -> bool {
+        self.truncated
     }
 
     /// Number of runs.

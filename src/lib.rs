@@ -18,6 +18,10 @@
 //! - [`engine`]: the compiled query engine — a builder-style pipeline
 //!   (`Engine::for_scenario(..).build()` → `Session`) that constructs any
 //!   worked example by name, compiles formulas once, and answers queries.
+//! - [`limits`]: resource governance — run/world/state budgets,
+//!   deadlines and cooperative cancellation for every expensive phase,
+//!   with typed `LimitExceeded` errors and optional graceful
+//!   degradation to truncated frames.
 //!
 //! # Quick start
 //!
@@ -36,6 +40,7 @@
 pub use hm_core as core;
 pub use hm_engine as engine;
 pub use hm_kripke as kripke;
+pub use hm_limits as limits;
 pub use hm_logic as logic;
 pub use hm_netsim as netsim;
 pub use hm_runs as runs;
