@@ -50,9 +50,21 @@ test "$code" -eq 0
 printf '%s\n' "$out" | grep -q "unknown"
 
 # Fault injection: the failpoint suites force exhaustion, cancellation
-# and worker death at every governed phase boundary.
+# and worker death at every governed phase boundary — including inside
+# the HTTP worker pool, which must answer 500 and keep serving.
 cargo test -q -p hm-engine --features failpoints --test failpoints
 cargo test -q -p hm-netsim --features failpoints --test failpoints
+cargo test -q -p hm-serve --features failpoints --test failpoints
+
+# Serve smoke: the selftest binds port 0 and drives the full request
+# matrix over real TCP (healthz, cache miss/hit, malformed -> 400,
+# limit exhaustion -> 503, 404, a concurrent burst, clean shutdown).
+$HM serve --selftest
+# And the CLI server proper: starts, prints its bound address, and
+# shuts down cleanly on stdin EOF.
+out=$(printf '' | $HM serve --addr 127.0.0.1:0 --workers 2)
+printf '%s\n' "$out" | grep -q "listening on http://127.0.0.1:"
+printf '%s\n' "$out" | grep -q "stopped"
 
 # Bench smoke: every benchmark runs once (1 sample x 1 iter, no summary
 # file written), so bench code cannot bit-rot without failing CI.

@@ -82,12 +82,12 @@ fn bench_minimized_vs_raw(c: &mut Criterion) {
     // Query cost on raw vs quotient-backed sessions (same verdicts).
     let mut group = c.benchmark_group("engine_query");
     let q = Query::parse("K0 K1 (sent & !sent_focus) | C{0,1} sent").unwrap();
-    let mut raw = Engine::from_system(r2d2_parts(2, 4, 4, R2d2Mode::Uncertain).0)
+    let raw = Engine::from_system(r2d2_parts(2, 4, 4, R2d2Mode::Uncertain).0)
         .build()
         .unwrap();
     raw.satisfying(&q).unwrap(); // compile + bind outside the loop
     group.bench_function("raw", |b| b.iter(|| black_box(raw.satisfying(&q).unwrap())));
-    let mut min = Engine::from_system(r2d2_parts(2, 4, 4, R2d2Mode::Uncertain).0)
+    let min = Engine::from_system(r2d2_parts(2, 4, 4, R2d2Mode::Uncertain).0)
         .minimize(true)
         .build()
         .unwrap();

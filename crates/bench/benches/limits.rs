@@ -42,8 +42,8 @@ fn bench_eval(c: &mut Criterion) {
     let fix = Query::parse("nu X. min0 & E{0,1,2} $X").unwrap();
     // A straight-line query: only the amortised per-instruction tick.
     let line = Query::parse("C{0,1,2} min0 | K0 !decided0").unwrap();
-    let mut free = Engine::for_scenario("agreement:n=3,f=1").build().unwrap();
-    let mut governed = Engine::for_scenario("agreement:n=3,f=1")
+    let free = Engine::for_scenario("agreement:n=3,f=1").build().unwrap();
+    let governed = Engine::for_scenario("agreement:n=3,f=1")
         .limits(generous())
         .build()
         .unwrap();

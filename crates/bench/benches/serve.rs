@@ -1,0 +1,81 @@
+//! Throughput of the `hm-serve` query service.
+//!
+//! Each `serve_qps/...` id encodes its batch shape: one iteration fires
+//! `<threads>` client threads × [`QUERIES_PER_THREAD`] queries each over
+//! real localhost TCP, so `queries/sec = batch × 1e9 / mean_ns` where
+//! `batch` is the `xNq` suffix of the id. Warm benches hit the engine
+//! cache on every query; cold benches carry per-request limits, which
+//! bypass the cache and rebuild the engine per query (the serving
+//! layer's worst case). Run with `HM_CRITERION_OUT=BENCH_pr8.json` to
+//! record the summary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hm_serve::{http_call, ServeConfig, Server, ServerHandle};
+use std::net::SocketAddr;
+
+/// Queries each client thread fires per iteration.
+const QUERIES_PER_THREAD: usize = 4;
+
+const WARM_BODY: &str = r#"{"spec":"generals","formula":"K1 dispatched & !K0 K1 dispatched"}"#;
+/// The (unreachable) limit forces the no-cache build-per-request path
+/// without ever tripping.
+const COLD_BODY: &str = r#"{"spec":"generals","formula":"K1 dispatched & !K0 K1 dispatched","limits":{"max_runs":1000000}}"#;
+
+fn start(workers: usize) -> (ServerHandle, SocketAddr) {
+    let server = Server::bind(&ServeConfig {
+        workers,
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let addr = server.local_addr().expect("addr");
+    (server.start().expect("start"), addr)
+}
+
+/// One iteration: `threads` concurrent clients, each sending
+/// [`QUERIES_PER_THREAD`] queries on fresh connections.
+fn burst(addr: SocketAddr, threads: usize, body: &str) {
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(move || {
+                for _ in 0..QUERIES_PER_THREAD {
+                    let (status, response) =
+                        http_call(addr, "POST", "/query", body).expect("query");
+                    assert_eq!(status, 200, "{response}");
+                }
+            });
+        }
+    });
+}
+
+fn bench_serve_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_qps");
+    for &workers in &[1usize, 4, 8] {
+        let (handle, addr) = start(workers);
+        // Warm the cache outside the measurement.
+        let (status, _) = http_call(addr, "POST", "/query", WARM_BODY).expect("warm-up");
+        assert_eq!(status, 200);
+        let batch = workers * QUERIES_PER_THREAD;
+        group.bench_function(&format!("warm/workers_{workers}_x{batch}q"), |b| {
+            b.iter(|| burst(addr, workers, WARM_BODY))
+        });
+        handle.shutdown();
+    }
+    // Cold engine cache: every query builds its own engine, at two
+    // worker counts for the scaling picture.
+    for &workers in &[1usize, 4] {
+        let (handle, addr) = start(workers);
+        let batch = workers * QUERIES_PER_THREAD;
+        group.bench_function(&format!("cold/workers_{workers}_x{batch}q"), |b| {
+            b.iter(|| burst(addr, workers, COLD_BODY))
+        });
+        handle.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_serve_throughput
+}
+criterion_main!(benches);

@@ -7,6 +7,7 @@
 //! hm check [opts] <spec> <formula>      lint a query without building
 //! hm ask [opts] <spec> <formula>        build the frame, print the verdict
 //! hm exp [E1 E2 …]                      run the E1–E18 experiment driver
+//! hm serve [opts]                       answer queries over HTTP
 //! hm help
 //! ```
 //!
@@ -65,6 +66,7 @@ fn main() {
         Some("check") => check(&args[1..]),
         Some("ask") => ask(&args[1..]),
         Some("exp") => exp(&args[1..]),
+        Some("serve") => serve(&args[1..]),
         Some(other) => {
             eprintln!("unknown command `{other}` (try `hm help`)");
             2
@@ -82,6 +84,7 @@ usage:
   hm check [opts] <spec> <formula> lint a query without building the frame
   hm ask [opts] <spec> <formula>   build the frame, print the verdict
   hm exp [E1 E2 ...]               run the E1-E18 experiment driver
+  hm serve [opts]                  answer queries over HTTP (JSON in/out)
   hm help                          this text
 
 ask options:
@@ -100,6 +103,18 @@ exp options:
   --max-runs N / --max-worlds N / --timeout S
                  as for ask, applied to every frame the driver builds
                  (the deadline re-anchors per build)
+
+serve options:
+  --addr A:P     bind address (default 127.0.0.1:7878; port 0 = ephemeral)
+  --workers N    worker threads answering requests (default 4)
+  --engines N    built engines kept warm in the LRU cache (default 8)
+  --selftest     start an ephemeral server, drive the whole request
+                 contract against it from the outside, and exit
+
+  the server answers GET /healthz, GET /stats, and POST /query with a
+  JSON body {\"spec\",\"formula\",\"horizon\"?,\"minimize\"?,\"limits\"?};
+  it stops cleanly when stdin reaches end-of-file (ctrl-d, or the
+  supervisor closing the pipe)
 
 check options:
   --json         print the full report as one JSON object
@@ -366,7 +381,7 @@ fn ask(args: &[String]) -> i32 {
     if let Some(h) = horizon {
         engine = engine.horizon(h);
     }
-    let mut session = match engine.build() {
+    let session = match engine.build() {
         Ok(s) => s,
         Err(EngineError::Spec(e)) => {
             eprintln!("{e}");
@@ -470,4 +485,95 @@ fn exp(args: &[String]) -> i32 {
         Ok(()) => 0,
         Err(e) => fail(&e),
     }
+}
+
+fn serve(args: &[String]) -> i32 {
+    let mut config = hm_serve::ServeConfig {
+        addr: "127.0.0.1:7878".to_string(),
+        ..hm_serve::ServeConfig::default()
+    };
+    let mut run_selftest = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => {
+                let Some(a) = it.next() else {
+                    eprintln!("--addr needs an address:port argument");
+                    return 2;
+                };
+                config.addr = a.clone();
+            }
+            "--workers" | "--engines" => {
+                let Some(n) = it.next().and_then(|v| v.parse::<usize>().ok()) else {
+                    eprintln!("{arg} needs a positive integer argument");
+                    return 2;
+                };
+                if arg == "--workers" {
+                    config.workers = n;
+                } else {
+                    config.engine_capacity = n;
+                }
+            }
+            "--selftest" => run_selftest = true,
+            other => {
+                eprintln!("unknown option `{other}` (try `hm help`)");
+                return 2;
+            }
+        }
+    }
+
+    if run_selftest {
+        return match hm_serve::selftest(config.workers) {
+            Ok(report) => {
+                print!("{report}");
+                0
+            }
+            Err(e) => {
+                eprintln!("selftest failed: {e}");
+                1
+            }
+        };
+    }
+
+    let server = match hm_serve::Server::bind(&config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot bind {}: {e}", config.addr);
+            return 2;
+        }
+    };
+    let addr = match server.local_addr() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("cannot resolve bound address: {e}");
+            return 2;
+        }
+    };
+    let handle = match server.start() {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("cannot start server: {e}");
+            return 2;
+        }
+    };
+    println!(
+        "listening on http://{addr} ({} workers, {} warm engines)",
+        config.workers.max(1),
+        config.engine_capacity
+    );
+    println!("close stdin (ctrl-d) to stop");
+    // Block until stdin reaches EOF — the supervisor-friendly shutdown
+    // signal available without OS signal handlers (the workspace
+    // forbids unsafe code, hence no sigaction).
+    let mut sink = String::new();
+    loop {
+        sink.clear();
+        match std::io::stdin().read_line(&mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+    handle.shutdown();
+    println!("stopped");
+    0
 }

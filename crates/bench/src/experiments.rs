@@ -124,7 +124,7 @@ fn isys(session: &Session) -> &InterpretedSystem {
 }
 
 /// Satisfying set of a formula, via the session's compiled-query cache.
-fn sat(session: &mut Session, f: &F) -> Result<WorldSet, EngineError> {
+fn sat(session: &Session, f: &F) -> Result<WorldSet, EngineError> {
     session.satisfying(&Query::new(f.clone()))
 }
 
@@ -321,9 +321,9 @@ fn e7(limits: &Limits) -> Result<(), EngineError> {
             .len(),
         ck_set(isys(&session), &g2(), &fact).unwrap().count()
     );
-    let mut gc = governed("uncertain-start:horizon=8,global_clock=true", limits).build()?;
+    let gc = governed("uncertain-start:horizon=8,global_clock=true", limits).build()?;
     let f = Formula::common(g2(), Formula::atom("five_oclock"));
-    let ckset = sat(&mut gc, &f)?;
+    let ckset = sat(&gc, &f)?;
     println!(
         "global clock contrast: temporal imprecision holds: {}, C(five_oclock) points: {}",
         conditions::check_temporal_imprecision(gc.system().unwrap()).is_none(),
@@ -364,10 +364,10 @@ fn e9(limits: &Limits) -> Result<(), EngineError> {
             out.violation
         );
     }
-    let mut ok = governed("ok:horizon=8", limits).build()?;
+    let ok = governed("ok:horizon=8", limits).build()?;
     let psi = Formula::atom("psi");
-    let ceps = sat(&mut ok, &Formula::common_eps(g2(), 1, psi.clone()))?;
-    let psi_set = sat(&mut ok, &psi)?;
+    let ceps = sat(&ok, &Formula::common_eps(g2(), 1, psi.clone()))?;
+    let psi_set = sat(&ok, &psi)?;
     let (full, run) = ok
         .system()
         .unwrap()
@@ -426,14 +426,14 @@ fn e12(limits: &Limits) -> Result<(), EngineError> {
         check_theorem12a(isys(&sync), &g2(), &fact, 5).unwrap(),
         check_theorem12a(isys(&sync), &g2(), &fact, 8).unwrap()
     );
-    let mut skewed = governed("skewed:horizon=10,skew=2", limits).build()?;
+    let skewed = governed("skewed:horizon=10,skew=2", limits).build()?;
     println!(
         "Thm 12(b) skew 2, stamp 6: {:?} | Thm 12(c) stamp 7: {:?}",
         check_theorem12b(isys(&skewed), &g2(), &fact, 6, 2).unwrap(),
         check_theorem12c(isys(&skewed), &g2(), &fact, 7).unwrap()
     );
-    let late = sat(&mut skewed, &Formula::common_ts(g2(), 7, fact.clone()))?;
-    let early = sat(&mut skewed, &Formula::common_ts(g2(), 1, fact))?;
+    let late = sat(&skewed, &Formula::common_ts(g2(), 7, fact.clone()))?;
+    let early = sat(&skewed, &Formula::common_ts(g2(), 1, fact))?;
     println!(
         "C^T attainment with skewed clocks: stamp 7 full: {}, stamp 1 empty: {}",
         late.is_full(),
@@ -520,15 +520,15 @@ fn e16(limits: &Limits) -> Result<(), EngineError> {
     let view = |v: &str| -> Result<Session, EngineError> {
         governed(format!("views:view={v}"), limits).build()
     };
-    let mut full = view("complete")?;
-    let mut forgetful = view("last-event")?;
-    let mut lambda = view("lambda")?;
+    let full = view("complete")?;
+    let forgetful = view("last-event")?;
+    let lambda = view("lambda")?;
     let k = Formula::knows(AgentId::new(0), Formula::atom("sent_twice"));
     println!(
         "K0(sent_twice) points — complete-history: {}, last-event: {}, lambda: {}",
-        sat(&mut full, &k)?.count(),
-        sat(&mut forgetful, &k)?.count(),
-        sat(&mut lambda, &k)?.count()
+        sat(&full, &k)?.count(),
+        sat(&forgetful, &k)?.count(),
+        sat(&lambda, &k)?.count()
     );
     println!("(finest view knows most; lambda knows only valid facts)");
     Ok(())

@@ -83,9 +83,8 @@ pub fn first_time(
     run: RunId,
     formula: &F,
 ) -> Result<Option<u64>, EvalError> {
-    let set = isys.eval(formula)?;
-    let horizon = isys.system().run(run).horizon;
-    Ok((0..=horizon).find(|&t| set.contains(isys.world(run, t))))
+    let mut cache = EvalCache::new();
+    first_time_cached(isys, run, formula, &mut cache)
 }
 
 /// [`first_time`] through an [`EvalCache`]: the formula is compiled and
@@ -118,12 +117,8 @@ pub fn ladder_onsets(
     meta: &R2d2,
     k_max: usize,
 ) -> Result<Vec<Option<u64>>, EvalError> {
-    let mut out = Vec::with_capacity(k_max + 1);
-    for k in 0..=k_max {
-        let f = rd_ladder(k, Formula::atom("sent"));
-        out.push(first_time(isys, meta.focus_slow, &f)?);
-    }
-    Ok(out)
+    let mut cache = EvalCache::new();
+    ladder_onsets_cached(isys, meta, k_max, &mut cache)
 }
 
 /// [`ladder_onsets`] through an [`EvalCache`]: each ladder level is
@@ -152,7 +147,8 @@ pub fn ladder_onsets_cached(
 ///
 /// Propagates [`EvalError`].
 pub fn ck_sent(isys: &InterpretedSystem) -> Result<hm_kripke::WorldSet, EvalError> {
-    isys.eval(&Formula::common(AgentGroup::all(2), Formula::atom("sent")))
+    let mut cache = EvalCache::new();
+    ck_sent_cached(isys, &mut cache)
 }
 
 /// [`ck_sent`] through an [`EvalCache`].

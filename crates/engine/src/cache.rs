@@ -1,0 +1,224 @@
+//! Sharded, lock-striped caches backing a [`Session`](crate::Session).
+//!
+//! PR 3 left a follow-up: the per-formula compile/bind caches were plain
+//! `HashMap`s behind `&mut self`, so one `Session` could not serve
+//! concurrent askers. This module closes it. A [`ShardedMap`] stripes a
+//! hash map across `SHARDS` independent `RwLock`s — readers of distinct
+//! formulas almost never contend, and a writer only stalls readers
+//! hashing into the same shard. Values are handed out by clone (callers
+//! store `Arc`s), so no lock is held while a formula is compiled, bound,
+//! or evaluated.
+//!
+//! [`CompiledStore`] builds on the same structure to share *compiled*
+//! programs across sessions: compilation is frame-independent (atoms are
+//! interned by name; binding against a concrete frame happens per
+//! session), so a service holding many engines — one per scenario spec —
+//! can compile `"C{0,1} dispatched"` once and bind it everywhere.
+
+use crate::EngineError;
+use hm_logic::{compile, simplify, CompiledFormula, Formula, F};
+use std::collections::hash_map::{DefaultHasher, Entry};
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, RwLock};
+
+/// Number of lock stripes. A small power of two: enough that a handful
+/// of worker threads rarely collide, small enough that iterating every
+/// shard (for counters) stays trivial.
+const SHARDS: usize = 16;
+
+/// A hash map striped over [`SHARDS`] reader-writer locks.
+///
+/// Lookups take one shard's read lock; insertions take its write lock.
+/// [`get_or_insert_with`](Self::get_or_insert_with) runs the producer
+/// *outside* any lock, so two threads racing on the same key may both
+/// produce — the first insertion wins and the loser's value is dropped.
+/// That trades a rare duplicated compile for never blocking other keys
+/// behind a slow producer.
+pub(crate) struct ShardedMap<V> {
+    shards: Vec<RwLock<HashMap<Formula, V>>>,
+}
+
+impl<V: Clone> ShardedMap<V> {
+    pub(crate) fn new() -> Self {
+        ShardedMap {
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+        }
+    }
+
+    fn shard(&self, key: &Formula) -> &RwLock<HashMap<Formula, V>> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % SHARDS]
+    }
+
+    /// Clones the cached value for `key`, if present.
+    ///
+    /// Lock poisoning is deliberately ignored (`into_inner`): a panic in
+    /// some other asker — e.g. an injected failpoint — must not turn the
+    /// whole session read-only. The maps hold only fully-constructed
+    /// values inserted by single `insert` calls, so a poisoned shard is
+    /// still structurally sound.
+    pub(crate) fn get(&self, key: &Formula) -> Option<V> {
+        self.shard(key)
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(key)
+            .cloned()
+    }
+
+    /// Returns the cached value for `key`, running `produce` (outside
+    /// any lock) and inserting its result when absent. On a race the
+    /// first insertion wins and is returned to everyone.
+    pub(crate) fn get_or_insert_with<E>(
+        &self,
+        key: &Formula,
+        produce: impl FnOnce() -> Result<V, E>,
+    ) -> Result<V, E> {
+        if let Some(v) = self.get(key) {
+            return Ok(v);
+        }
+        let fresh = produce()?;
+        let mut guard = self
+            .shard(key)
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        Ok(match guard.entry(key.clone()) {
+            Entry::Occupied(e) => e.get().clone(),
+            Entry::Vacant(e) => e.insert(fresh).clone(),
+        })
+    }
+
+    /// Total entries across all shards.
+    pub(crate) fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.read()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .len()
+            })
+            .sum()
+    }
+}
+
+/// A compiled-program cache shared across [`Session`](crate::Session)s.
+///
+/// Compilation (lowering to the flat instruction buffer, atom/group
+/// interning, CSE, fixed-point slot allocation) does not look at any
+/// frame, so its output can be reused by every session that asks the
+/// same formula — only the cheap per-frame *bind* step is repeated.
+/// Attach one store to several engines with
+/// [`Engine::compiled_store`](crate::Engine::compiled_store):
+///
+/// ```
+/// use hm_engine::{CompiledStore, Engine, Query};
+/// use std::sync::Arc;
+/// let store = Arc::new(CompiledStore::new());
+/// let a = Engine::for_scenario("generals:horizon=4")
+///     .compiled_store(Arc::clone(&store))
+///     .build()?;
+/// let b = Engine::for_scenario("generals:horizon=6")
+///     .compiled_store(Arc::clone(&store))
+///     .build()?;
+/// a.ask(&Query::parse("K1 dispatched")?)?;
+/// b.ask(&Query::parse("K1 dispatched")?)?; // compiled once, bound twice
+/// assert_eq!(store.len(), 1);
+/// # Ok::<(), hm_engine::EngineError>(())
+/// ```
+pub struct CompiledStore {
+    map: ShardedMap<Arc<CompiledFormula>>,
+}
+
+impl Default for CompiledStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CompiledStore {
+    /// An empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        CompiledStore {
+            map: ShardedMap::new(),
+        }
+    }
+
+    /// Number of distinct formulas compiled into the store.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when nothing has been compiled yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The compiled program for `original`, keyed by the original
+    /// formula but compiled from its simplification (smaller program,
+    /// identical verdicts).
+    pub(crate) fn get_or_compile(&self, original: &F) -> Result<Arc<CompiledFormula>, EngineError> {
+        self.map
+            .get_or_insert_with(original, || -> Result<_, EngineError> {
+                Ok(Arc::new(compile(&simplify(original))?))
+            })
+    }
+}
+
+impl std::fmt::Debug for CompiledStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompiledStore")
+            .field("formulas", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sharded_map_basic_ops() {
+        let m: ShardedMap<Arc<u32>> = ShardedMap::new();
+        let k = hm_logic::parse("p & q").unwrap();
+        assert!(m.get(&k).is_none());
+        let v = m
+            .get_or_insert_with(&k, || Ok::<_, ()>(Arc::new(7)))
+            .unwrap();
+        assert_eq!(*v, 7);
+        // Second producer loses: the first insertion is returned.
+        let v2 = m
+            .get_or_insert_with(&k, || Ok::<_, ()>(Arc::new(9)))
+            .unwrap();
+        assert_eq!(*v2, 7);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn producer_errors_are_not_cached() {
+        let m: ShardedMap<Arc<u32>> = ShardedMap::new();
+        let k = hm_logic::parse("p").unwrap();
+        assert!(m
+            .get_or_insert_with(&k, || Err::<Arc<u32>, _>("no"))
+            .is_err());
+        assert_eq!(m.len(), 0);
+        assert!(m
+            .get_or_insert_with(&k, || Ok::<_, ()>(Arc::new(1)))
+            .is_ok());
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn compiled_store_dedupes_across_keys() {
+        let store = CompiledStore::new();
+        let f = hm_logic::parse("K0 p").unwrap();
+        let a = store.get_or_compile(&f).unwrap();
+        let b = store.get_or_compile(&f).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(store.len(), 1);
+        assert!(!store.is_empty());
+    }
+}

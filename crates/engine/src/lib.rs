@@ -35,7 +35,7 @@
 //!
 //! ```
 //! use hm_engine::{Engine, Query};
-//! let mut session = Engine::for_scenario("generals").horizon(8).build()?;
+//! let session = Engine::for_scenario("generals").horizon(8).build()?;
 //! // B knows the messenger was dispatched somewhere; it is never
 //! // common knowledge (Corollary 6).
 //! let kb = session.ask(&Query::parse("K1 dispatched")?)?;
@@ -48,9 +48,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cache;
 mod scenario;
 mod spec;
 
+pub use cache::CompiledStore;
 pub use scenario::{Scenario, ScenarioFrame, ScenarioParams, ScenarioRegistry, Surface};
 pub use spec::{ParamDescriptor, ParamKind, ParamValue, ParamValues, ScenarioSpec, SpecError};
 
@@ -69,8 +71,8 @@ use hm_logic::{
 };
 use hm_netsim::EnumerateError;
 use hm_runs::{InterpretedSystem, InterpretedSystemBuilder, RunId, System};
-use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Errors of the engine pipeline.
 #[derive(Debug)]
@@ -377,6 +379,7 @@ pub struct Engine {
     params: ScenarioParams,
     minimize: bool,
     limits: Limits,
+    store: Option<Arc<CompiledStore>>,
 }
 
 impl Engine {
@@ -386,6 +389,7 @@ impl Engine {
             params: ScenarioParams::default(),
             minimize: false,
             limits: Limits::none(),
+            store: None,
         }
     }
 
@@ -403,7 +407,7 @@ impl Engine {
     /// use hm_engine::{Engine, Query};
     /// // Simultaneous agreement under crash failures, 3 processors,
     /// // at most 1 crash. The decision value is common knowledge:
-    /// let mut session = Engine::for_scenario("agreement:n=3,f=1").build()?;
+    /// let session = Engine::for_scenario("agreement:n=3,f=1").build()?;
     /// let ck = session.ask(&Query::parse("C{0,1,2} min0")?)?;
     /// assert!(!ck.is_empty());
     /// // `agreement:n=4,f=2` is the same family two sizes up (~57k
@@ -479,6 +483,16 @@ impl Engine {
         self
     }
 
+    /// Attaches a shared [`CompiledStore`]: the session compiles each
+    /// formula into (and reuses programs from) the store instead of a
+    /// private cache, so a fleet of engines over different scenario
+    /// specs compiles every distinct formula once. Binding against the
+    /// session's frame stays per session.
+    pub fn compiled_store(mut self, store: Arc<CompiledStore>) -> Self {
+        self.store = Some(store);
+        self
+    }
+
     /// Runs the pipeline: construct the frame, apply options, return a
     /// query [`Session`].
     ///
@@ -521,12 +535,15 @@ impl Engine {
                     SessionFrame::Interpreted(isys),
                     self.minimize,
                     budget,
+                    self.store,
                 ))
             }
             Source::Model(m) => ScenarioFrame::Model(m),
         };
         Ok(match frame {
-            ScenarioFrame::Model(m) => Session::new(SessionFrame::Model(m), self.minimize, budget),
+            ScenarioFrame::Model(m) => {
+                Session::new(SessionFrame::Model(m), self.minimize, budget, self.store)
+            }
             ScenarioFrame::Interpreted(b) => {
                 let isys = b
                     .minimized(self.minimize)
@@ -536,6 +553,7 @@ impl Engine {
                     SessionFrame::Interpreted(Box::new(isys)),
                     self.minimize,
                     budget,
+                    self.store,
                 )
             }
         })
@@ -548,7 +566,7 @@ enum SessionFrame {
 }
 
 struct CachedQuery {
-    compiled: CompiledFormula,
+    compiled: Arc<CompiledFormula>,
     full: Bound,
     /// Present when the query is quotient-safe and a quotient exists.
     quotient: Option<Bound>,
@@ -557,6 +575,13 @@ struct CachedQuery {
 /// An open query session against one frame: compiles each distinct
 /// formula once, binds its atom table once per frame, and answers
 /// [`Query`] values. Obtain one from [`Engine::build`].
+///
+/// A `Session` is `Send + Sync`: all query methods take `&self`, and the
+/// per-formula compile/bind caches are striped over independent locks
+/// (see the crate's `cache` module), so one session — typically behind
+/// an [`Arc`] — can serve many threads concurrently with verdicts
+/// identical to serial evaluation. Evaluations on all threads charge the
+/// one shared pipeline [`Budget`].
 pub struct Session {
     frame: SessionFrame,
     /// Quotient for sources that arrive pre-built (model or interpreted
@@ -567,11 +592,14 @@ pub struct Session {
     /// evaluations charge the same visited-state ceiling and observe the
     /// same deadline and cancel token.
     budget: Budget,
-    /// Compiled programs, keyed by the *original* formula (the program
-    /// itself is compiled from the simplified one).
-    cache: HashMap<Formula, CachedQuery>,
+    /// Cross-session compiled-program store, when the engine attached
+    /// one; otherwise each formula is compiled privately.
+    store: Option<Arc<CompiledStore>>,
+    /// Compiled-and-bound programs, keyed by the *original* formula (the
+    /// program itself is compiled from the simplified one).
+    cache: cache::ShardedMap<Arc<CachedQuery>>,
     /// Static-analysis reports, keyed by the original formula.
-    reports: HashMap<Formula, Diagnostics>,
+    reports: cache::ShardedMap<Arc<Diagnostics>>,
 }
 
 impl fmt::Debug for Session {
@@ -585,7 +613,12 @@ impl fmt::Debug for Session {
 }
 
 impl Session {
-    fn new(frame: SessionFrame, minimize_on: bool, budget: Budget) -> Self {
+    fn new(
+        frame: SessionFrame,
+        minimize_on: bool,
+        budget: Budget,
+        store: Option<Arc<CompiledStore>>,
+    ) -> Self {
         let late_quotient = if minimize_on {
             match &frame {
                 SessionFrame::Model(m) => Some(minimize(m)),
@@ -602,8 +635,9 @@ impl Session {
             late_quotient,
             minimize: minimize_on,
             budget,
-            cache: HashMap::new(),
-            reports: HashMap::new(),
+            store,
+            cache: cache::ShardedMap::new(),
+            reports: cache::ShardedMap::new(),
         }
     }
 
@@ -686,7 +720,7 @@ impl Session {
     /// [`EngineError::Eval`] for ill-formed formulas (unknown atom,
     /// unbound variable, non-monotone binder, agent out of range,
     /// temporal operator on a static frame).
-    pub fn ask(&mut self, query: &Query) -> Result<Verdict, EngineError> {
+    pub fn ask(&self, query: &Query) -> Result<Verdict, EngineError> {
         Ok(Verdict {
             satisfying: self.satisfying(query)?,
         })
@@ -696,16 +730,18 @@ impl Session {
     /// inferred facts (see [`Diagnostics`]), produced *without
     /// evaluating* and cached per formula. [`ask`](Self::ask) consults
     /// the same report, so checking first costs nothing extra.
-    pub fn check(&mut self, query: &Query) -> &Diagnostics {
+    pub fn check(&self, query: &Query) -> Arc<Diagnostics> {
         let f: &Formula = query.formula();
-        if !self.reports.contains_key(f) {
-            let report = Analyzer::new()
-                .frame(self.frame())
-                .minimize(self.minimize)
-                .analyze(f);
-            self.reports.insert(f.clone(), report);
-        }
-        &self.reports[f]
+        self.reports
+            .get_or_insert_with(f, || {
+                Ok::<_, std::convert::Infallible>(Arc::new(
+                    Analyzer::new()
+                        .frame(self.frame())
+                        .minimize(self.minimize)
+                        .analyze(f),
+                ))
+            })
+            .unwrap_or_else(|e| match e {})
     }
 
     /// The satisfying set of a query (see [`ask`](Self::ask)).
@@ -713,40 +749,41 @@ impl Session {
     /// # Errors
     ///
     /// See [`ask`](Self::ask).
-    pub fn satisfying(&mut self, query: &Query) -> Result<WorldSet, EngineError> {
+    pub fn satisfying(&self, query: &Query) -> Result<WorldSet, EngineError> {
         if self.is_partial() {
             return Err(EngineError::PartialFrame);
         }
         let f: &Formula = query.formula();
-        if !self.cache.contains_key(f) {
-            // One diagnostic source of truth: the analyzer replays
-            // compile-then-bind errors exactly (pinned by hm-logic's
-            // differential tests), so gate on its report of the
-            // *original* formula, then compile the simplified one — the
-            // program is smaller, the verdict identical.
-            if let Some(err) = self.check(query).first_error_as_eval() {
-                return Err(err.into());
-            }
-            let compiled = compile(&simplify(query.formula()))?;
-            let full = compiled.bind(self.frame())?;
-            let quotient = if self.minimize && compiled.quotient_safe() {
-                match self.quotient() {
-                    Some(q) => Some(compiled.bind(&q.model)?),
-                    None => None,
-                }
-            } else {
-                None
-            };
-            self.cache.insert(
-                f.clone(),
-                CachedQuery {
-                    compiled,
-                    full,
-                    quotient,
-                },
-            );
-        }
-        let cached = &self.cache[f];
+        let cached =
+            self.cache
+                .get_or_insert_with(f, || -> Result<Arc<CachedQuery>, EngineError> {
+                    // One diagnostic source of truth: the analyzer replays
+                    // compile-then-bind errors exactly (pinned by hm-logic's
+                    // differential tests), so gate on its report of the
+                    // *original* formula, then compile the simplified one — the
+                    // program is smaller, the verdict identical.
+                    if let Some(err) = self.check(query).first_error_as_eval() {
+                        return Err(err.into());
+                    }
+                    let compiled = match &self.store {
+                        Some(store) => store.get_or_compile(query.formula())?,
+                        None => Arc::new(compile(&simplify(query.formula()))?),
+                    };
+                    let full = compiled.bind(self.frame())?;
+                    let quotient = if self.minimize && compiled.quotient_safe() {
+                        match self.quotient() {
+                            Some(q) => Some(compiled.bind(&q.model)?),
+                            None => None,
+                        }
+                    } else {
+                        None
+                    };
+                    Ok(Arc::new(CachedQuery {
+                        compiled,
+                        full,
+                        quotient,
+                    }))
+                })?;
         if let Some(qbound) = &cached.quotient {
             let q = self.quotient().expect("bound against existing quotient");
             let on_quotient =
@@ -782,7 +819,7 @@ impl Session {
     ///
     /// [`EngineError::Eval`] as for [`ask`](Self::ask), including budget
     /// exhaustion during evaluation.
-    pub fn ask_partial(&mut self, query: &Query) -> Result<PartialVerdict, EngineError> {
+    pub fn ask_partial(&self, query: &Query) -> Result<PartialVerdict, EngineError> {
         if !self.is_partial() {
             let exact = self.satisfying(query)?;
             return Ok(PartialVerdict {
@@ -807,7 +844,7 @@ impl Session {
     /// # Errors
     ///
     /// See [`ask`](Self::ask).
-    pub fn valid(&mut self, query: &Query) -> Result<bool, EngineError> {
+    pub fn valid(&self, query: &Query) -> Result<bool, EngineError> {
         Ok(self.satisfying(query)?.is_full())
     }
 
@@ -822,7 +859,7 @@ impl Session {
     /// # Panics
     ///
     /// Panics if `(run, t)` is outside the system.
-    pub fn holds_at(&mut self, query: &Query, run: RunId, t: u64) -> Result<bool, EngineError> {
+    pub fn holds_at(&self, query: &Query, run: RunId, t: u64) -> Result<bool, EngineError> {
         let w = match &self.frame {
             SessionFrame::Interpreted(isys) => isys.world(run, t),
             SessionFrame::Model(_) => return Err(EngineError::NoRunStructure),
@@ -897,8 +934,17 @@ mod tests {
     use hm_runs::{CompleteHistory, Event, Message, RunBuilder};
 
     #[test]
+    fn session_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Session>();
+        assert_send_sync::<CompiledStore>();
+        assert_send_sync::<Verdict>();
+        assert_send_sync::<EngineError>();
+    }
+
+    #[test]
     fn scenario_pipeline_answers_queries() {
-        let mut session = Engine::for_scenario("generals").horizon(8).build().unwrap();
+        let session = Engine::for_scenario("generals").horizon(8).build().unwrap();
         let kb = session
             .ask(&Query::parse("K1 dispatched").unwrap())
             .unwrap();
@@ -951,17 +997,17 @@ mod tests {
 
     #[test]
     fn spec_strings_configure_scenarios() {
-        let mut small = Engine::for_scenario("generals:horizon=4").build().unwrap();
-        let mut large = Engine::for_scenario("generals:horizon=8").build().unwrap();
+        let small = Engine::for_scenario("generals:horizon=4").build().unwrap();
+        let large = Engine::for_scenario("generals:horizon=8").build().unwrap();
         assert!(small.num_worlds() < large.num_worlds());
         // An explicit Engine::horizon overrides the spec parameter.
-        let mut overridden = Engine::for_scenario("generals:horizon=4")
+        let overridden = Engine::for_scenario("generals:horizon=4")
             .horizon(8)
             .build()
             .unwrap();
         assert_eq!(overridden.num_worlds(), large.num_worlds());
         let q = Query::parse("C{0,1} dispatched").unwrap();
-        for s in [&mut small, &mut large, &mut overridden] {
+        for s in [&small, &large, &overridden] {
             assert!(s.ask(&q).unwrap().is_empty(), "Corollary 6 at any horizon");
         }
         // Bad parameters surface as spec errors with the offending key.
@@ -1016,7 +1062,7 @@ mod tests {
                     .events_before(t + 1)
                     .any(|e| matches!(e.event, Event::Send { .. }))
             });
-        let mut session = Engine::from_system(builder).build().unwrap();
+        let session = Engine::from_system(builder).build().unwrap();
         let q = Query::parse("K1 sent").unwrap();
         assert!(session.holds_at(&q, RunId(0), 3).unwrap());
         assert!(!session.holds_at(&q, RunId(1), 3).unwrap());
@@ -1027,8 +1073,8 @@ mod tests {
 
     #[test]
     fn minimized_sessions_agree_with_raw() {
-        let mut raw = Engine::for_scenario("generals").horizon(8).build().unwrap();
-        let mut min = Engine::for_scenario("generals")
+        let raw = Engine::for_scenario("generals").horizon(8).build().unwrap();
+        let min = Engine::for_scenario("generals")
             .horizon(8)
             .minimize(true)
             .build()
@@ -1060,7 +1106,7 @@ mod tests {
 
     #[test]
     fn model_sessions_reject_point_queries() {
-        let mut session = Engine::for_scenario("muddy:n=4").build().unwrap();
+        let session = Engine::for_scenario("muddy:n=4").build().unwrap();
         let q = Query::parse("m").unwrap();
         assert!(!session.ask(&q).unwrap().is_empty());
         assert!(matches!(
@@ -1072,8 +1118,8 @@ mod tests {
 
     #[test]
     fn parallel_enumeration_same_session_answers() {
-        let mut seq = Engine::for_scenario("generals").horizon(8).build().unwrap();
-        let mut par = Engine::for_scenario("generals")
+        let seq = Engine::for_scenario("generals").horizon(8).build().unwrap();
+        let par = Engine::for_scenario("generals")
             .horizon(8)
             .parallel_enumeration(true)
             .build()

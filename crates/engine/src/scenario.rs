@@ -281,6 +281,34 @@ impl ScenarioRegistry {
         let values = ParamValues::resolve(&parsed.name, &scenario.params(), &parsed.params)?;
         Ok((scenario, values))
     }
+
+    /// The fully resolved canonical spec string: every declared
+    /// parameter present (explicit value or default), sorted by key.
+    /// Unlike the purely syntactic [`ScenarioSpec::canonical`], this
+    /// equates specs that *resolve* identically — `generals` and
+    /// `generals:horizon=8` (the default horizon) share one canonical
+    /// string, as do `r2d2:eps=2,pre=1` and `r2d2:pre=1,eps=2`. The
+    /// serving layer keys its engine cache on this, so one built engine
+    /// answers every spelling of the same frame.
+    ///
+    /// # Errors
+    ///
+    /// As for [`resolve`](Self::resolve).
+    pub fn canonical_spec(&self, spec: &str) -> Result<String, SpecError> {
+        let parsed = ScenarioSpec::parse(spec)?;
+        let (_, values) = self.resolve(spec)?;
+        let mut pairs: Vec<(&'static str, String)> =
+            values.entries().map(|(k, v)| (k, v.to_string())).collect();
+        pairs.sort_by_key(|&(k, _)| k);
+        let mut out = parsed.name;
+        for (i, (k, v)) in pairs.iter().enumerate() {
+            out.push(if i == 0 { ':' } else { ',' });
+            out.push_str(k);
+            out.push('=');
+            out.push_str(v);
+        }
+        Ok(out)
+    }
 }
 
 impl Default for ScenarioRegistry {
@@ -933,6 +961,36 @@ mod tests {
             reg.resolve("agreement:f=3").err().unwrap(),
             SpecError::OutOfRange { .. }
         ));
+    }
+
+    #[test]
+    fn canonical_spec_fills_defaults_and_sorts() {
+        let reg = ScenarioRegistry::builtin();
+        // Orderings of the same assignment share one canonical string.
+        assert_eq!(
+            reg.canonical_spec("r2d2:eps=2,pre=1").unwrap(),
+            reg.canonical_spec("r2d2:pre=1,eps=2").unwrap()
+        );
+        // A bare name and its spelled-out defaults are the same frame.
+        assert_eq!(
+            reg.canonical_spec("generals").unwrap(),
+            reg.canonical_spec("generals:horizon=8").unwrap()
+        );
+        assert_eq!(
+            reg.canonical_spec("generals").unwrap(),
+            "generals:horizon=8"
+        );
+        // Canonicalization is idempotent (round-trip through parse).
+        let c = reg.canonical_spec("r2d2:pre=1,eps=2").unwrap();
+        assert_eq!(reg.canonical_spec(&c).unwrap(), c);
+        // Different assignments stay distinct.
+        assert_ne!(
+            reg.canonical_spec("generals:horizon=4").unwrap(),
+            reg.canonical_spec("generals").unwrap()
+        );
+        // Errors pass through resolve.
+        assert!(reg.canonical_spec("zap").is_err());
+        assert!(reg.canonical_spec("generals:horizon=99").is_err());
     }
 
     #[test]

@@ -101,6 +101,39 @@ impl ScenarioSpec {
             params,
         })
     }
+
+    /// The canonical spelling of this spec: parameters sorted by key, so
+    /// orderings of the same assignment render identically —
+    /// `r2d2:eps=2,pre=1` and `r2d2:pre=1,eps=2` both canonicalize to
+    /// `r2d2:eps=2,pre=1`. Canonicalization is purely syntactic (no
+    /// registry lookup): defaults a spec omits stay omitted. For a cache
+    /// key that also equates `generals` with `generals:horizon=8`, use
+    /// [`ScenarioRegistry::canonical_spec`](crate::ScenarioRegistry::canonical_spec),
+    /// which resolves defaults first.
+    ///
+    /// The result round-trips: parsing it yields an equal spec modulo
+    /// parameter order, and canonicalizing again is a fixed point.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use hm_engine::ScenarioSpec;
+    /// let a = ScenarioSpec::parse("r2d2:pre=1,eps=2")?;
+    /// let b = ScenarioSpec::parse("r2d2:eps=2,pre=1")?;
+    /// assert_eq!(a.canonical(), "r2d2:eps=2,pre=1");
+    /// assert_eq!(a.canonical(), b.canonical());
+    /// # Ok::<(), hm_engine::SpecError>(())
+    /// ```
+    #[must_use]
+    pub fn canonical(&self) -> String {
+        let mut sorted = self.params.clone();
+        sorted.sort_by(|(a, _), (b, _)| a.cmp(b));
+        let spec = ScenarioSpec {
+            name: self.name.clone(),
+            params: sorted,
+        };
+        spec.to_string()
+    }
 }
 
 impl fmt::Display for ScenarioSpec {
@@ -324,6 +357,12 @@ impl ParamValues {
     /// The value of `key`, if declared.
     pub fn get(&self, key: &str) -> Option<&ParamValue> {
         self.values.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+
+    /// All resolved `(key, value)` pairs (explicit spec values and
+    /// filled defaults alike), in resolution order.
+    pub fn entries(&self) -> impl Iterator<Item = (&'static str, &ParamValue)> {
+        self.values.iter().map(|(k, v)| (*k, v))
     }
 
     /// The integer value of `key`.
@@ -551,6 +590,27 @@ mod tests {
         assert_eq!(s.name, "agreement");
         assert_eq!(s.params.len(), 2);
         assert_eq!(s.to_string(), "agreement:n=4,f=2");
+    }
+
+    #[test]
+    fn canonical_sorts_params_and_round_trips() {
+        // Orderings of the same assignment share one canonical form…
+        let a = ScenarioSpec::parse("r2d2:eps=2,pre=1").unwrap();
+        let b = ScenarioSpec::parse("r2d2:pre=1,eps=2").unwrap();
+        assert_eq!(a.canonical(), "r2d2:eps=2,pre=1");
+        assert_eq!(a.canonical(), b.canonical());
+        // …which parses back to the same assignment (round-trip) and is
+        // a fixed point of canonicalization.
+        let re = ScenarioSpec::parse(&a.canonical()).unwrap();
+        assert_eq!(re.canonical(), a.canonical());
+        let mut sorted = b.params;
+        sorted.sort();
+        assert_eq!(re.params, sorted);
+        // Bare names are their own canonical form.
+        assert_eq!(
+            ScenarioSpec::parse("generals").unwrap().canonical(),
+            "generals"
+        );
     }
 
     #[test]

@@ -76,7 +76,7 @@ fn exhaustion_during_minimization_is_typed() {
 #[test]
 fn exhaustion_during_evaluation_leaves_the_session_usable() {
     let sc = FailScenario::setup();
-    let mut session = Engine::for_scenario("agreement:n=3,f=1")
+    let session = Engine::for_scenario("agreement:n=3,f=1")
         .build()
         .expect("no failpoint configured during build");
     let q = Query::parse("C{0,1,2} min0").unwrap();
@@ -99,7 +99,7 @@ fn exhaustion_during_evaluation_leaves_the_session_usable() {
 #[test]
 fn cancellation_during_evaluation_is_typed() {
     let sc = FailScenario::setup();
-    let mut session = Engine::for_scenario("agreement:n=3,f=1")
+    let session = Engine::for_scenario("agreement:n=3,f=1")
         .build()
         .expect("no failpoint configured during build");
     sc.configure("logic::eval", Action::Cancel);

@@ -71,7 +71,7 @@ fn pre_cancelled_token_fails_the_build() {
 #[test]
 fn cancellation_after_build_stops_evaluation() {
     let token = CancelToken::new();
-    let mut session = engine()
+    let session = engine()
         .limits(Limits::none().cancel(token.clone()))
         .build()
         .expect("token not yet cancelled");
@@ -95,7 +95,7 @@ fn small_state_budget_yields_typed_error_somewhere() {
     let err = engine()
         .limits(Limits::none().max_states_visited(64))
         .build()
-        .and_then(|mut s| {
+        .and_then(|s| {
             let q = Query::parse("C{0,1,2} min0")?;
             s.ask(&q).map(|_| ())
         })
@@ -107,7 +107,7 @@ fn small_state_budget_yields_typed_error_somewhere() {
 
 #[test]
 fn partial_build_truncates_and_rejects_two_valued_asks() {
-    let mut session = engine()
+    let session = engine()
         .limits(Limits::none().max_runs(8).allow_partial(true))
         .build()
         .expect("partial mode truncates instead of failing");
@@ -136,7 +136,7 @@ fn partial_build_truncates_and_rejects_two_valued_asks() {
 
 #[test]
 fn partial_verdict_on_full_frame_is_exact_and_matches_ask() {
-    let mut session = engine().build().unwrap();
+    let session = engine().build().unwrap();
     for src in ["min0", "decided0", "K0 min0", "C{0,1,2} min0"] {
         let q = Query::parse(src).unwrap();
         let exact = session.ask(&q).unwrap();
@@ -155,8 +155,8 @@ fn partial_verdict_on_full_frame_is_exact_and_matches_ask() {
 /// by run name and time, which survive truncation unchanged.
 #[test]
 fn partial_verdicts_never_contradict_the_full_build() {
-    let mut full = engine().build().unwrap();
-    let mut part = engine()
+    let full = engine().build().unwrap();
+    let part = engine()
         .limits(Limits::none().max_runs(8).allow_partial(true))
         .build()
         .unwrap();

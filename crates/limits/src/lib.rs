@@ -25,9 +25,8 @@
 
 pub mod failpoints;
 
-use std::cell::Cell;
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -273,7 +272,7 @@ impl Limits {
                 states: AtomicU64::new(0),
                 runs: AtomicU64::new(0),
             })),
-            local: Cell::new(0),
+            local: AtomicU32::new(0),
         }
     }
 }
@@ -355,16 +354,20 @@ pub enum Admission {
 #[derive(Debug)]
 pub struct Budget {
     shared: Option<Arc<Shared>>,
-    /// Ticks accumulated since the last shared check (not `Sync`;
-    /// per-clone).
-    local: Cell<u32>,
+    /// Ticks accumulated since the last shared check. Relaxed atomic so a
+    /// `Budget` (and anything embedding one, e.g. an engine `Session`) is
+    /// `Sync`; the counter is still *logically* per-clone — clone once per
+    /// worker thread. Concurrent ticks on one handle stay safe, merely
+    /// batching their shared check a little earlier or later, which the
+    /// amortized accounting tolerates by design.
+    local: AtomicU32,
 }
 
 impl Clone for Budget {
     fn clone(&self) -> Self {
         Budget {
             shared: self.shared.clone(),
-            local: Cell::new(0),
+            local: AtomicU32::new(0),
         }
     }
 }
@@ -381,7 +384,7 @@ impl Budget {
     pub fn unlimited() -> Self {
         Budget {
             shared: None,
-            local: Cell::new(0),
+            local: AtomicU32::new(0),
         }
     }
 
@@ -418,12 +421,12 @@ impl Budget {
         let Some(shared) = &self.shared else {
             return Ok(());
         };
-        let n = self.local.get() + 1;
+        let n = self.local.load(Ordering::Relaxed) + 1;
         if n < CHECK_EVERY {
-            self.local.set(n);
+            self.local.store(n, Ordering::Relaxed);
             return Ok(());
         }
-        self.local.set(0);
+        self.local.store(0, Ordering::Relaxed);
         shared.check(phase, u64::from(CHECK_EVERY))
     }
 
@@ -438,7 +441,7 @@ impl Budget {
         let Some(shared) = &self.shared else {
             return Ok(());
         };
-        let pending = u64::from(self.local.replace(0));
+        let pending = u64::from(self.local.swap(0, Ordering::Relaxed));
         shared.check(phase, pending)
     }
 
@@ -522,6 +525,34 @@ impl Budget {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn budget_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Budget>();
+        assert_send_sync::<Limits>();
+        assert_send_sync::<CancelToken>();
+        assert_send_sync::<LimitExceeded>();
+    }
+
+    #[test]
+    fn shared_budget_handle_ticks_safely_across_threads() {
+        let b = std::sync::Arc::new(Limits::none().max_states_visited(u64::MAX).budget());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let b = std::sync::Arc::clone(&b);
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        b.tick(Phase::Eval).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        b.check_now(Phase::Eval).unwrap();
+    }
 
     #[test]
     fn unlimited_budget_never_fails() {

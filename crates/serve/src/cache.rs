@@ -1,0 +1,172 @@
+//! The LRU cache of built engines.
+//!
+//! Building a [`Session`] is the expensive half of a query — run
+//! enumeration, interpreted-system construction, optionally
+//! minimisation — while asking a cached session is microseconds. The
+//! server therefore keeps the last `capacity` sessions alive, keyed by
+//! the *canonical* spec string (parameter order and defaults
+//! normalised, see `ScenarioRegistry::canonical_spec`) plus the build
+//! options, and evicts least-recently-used entries beyond that.
+//!
+//! Sessions are `Send + Sync` (their formula caches are lock-striped),
+//! so one cached session is shared by every worker thread answering
+//! queries for its spec. Requests that carry their own resource limits
+//! bypass the cache entirely: a budget is anchored at build time and
+//! consumed across the session's life, so a limited session is built
+//! fresh, used once, and dropped (the shared `CompiledStore` still
+//! spares it formula compilation).
+
+use hm_engine::{EngineError, Session};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// LRU map from cache key to a shared, concurrently-askable session.
+pub(crate) struct EngineCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+    evictions: AtomicU64,
+}
+
+struct Inner {
+    map: HashMap<String, Entry>,
+    /// Logical clock for recency: bumped on every touch.
+    tick: u64,
+}
+
+struct Entry {
+    session: Arc<Session>,
+    last_used: u64,
+}
+
+impl EngineCache {
+    /// An empty cache holding at most `capacity` sessions (minimum 1).
+    pub(crate) fn new(capacity: usize) -> Self {
+        EngineCache {
+            capacity: capacity.max(1),
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                tick: 0,
+            }),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The session for `key`, building it with `build` on a miss.
+    ///
+    /// The builder runs *outside* the lock — engine construction can
+    /// take seconds under a large horizon, and must not block queries
+    /// for already-cached specs. Two threads racing on the same key may
+    /// both build; the first insertion wins. Returns the session and
+    /// whether it was a hit.
+    pub(crate) fn get_or_build(
+        &self,
+        key: &str,
+        build: impl FnOnce() -> Result<Session, EngineError>,
+    ) -> Result<(Arc<Session>, bool), EngineError> {
+        if let Some(session) = self.touch(key) {
+            return Ok((session, true));
+        }
+        let fresh = Arc::new(build()?);
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        let entry = inner.map.entry(key.to_string()).or_insert_with(|| Entry {
+            session: Arc::clone(&fresh),
+            last_used: tick,
+        });
+        entry.last_used = tick;
+        let session = Arc::clone(&entry.session);
+        if inner.map.len() > self.capacity {
+            if let Some(lru) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                inner.map.remove(&lru);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Ok((session, false))
+    }
+
+    /// Looks `key` up and refreshes its recency.
+    fn touch(&self, key: &str) -> Option<Arc<Session>> {
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        let entry = inner.map.get_mut(key)?;
+        entry.last_used = tick;
+        Some(Arc::clone(&entry.session))
+    }
+
+    /// Number of cached sessions.
+    pub(crate) fn len(&self) -> usize {
+        self.lock().map.len()
+    }
+
+    /// The configured capacity.
+    pub(crate) fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Sessions dropped to make room, since startup.
+    pub(crate) fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // A worker that panicked mid-insert (failpoints) must not brick
+        // the cache: the map only ever holds complete entries.
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hm_engine::Engine;
+
+    fn build(spec: &str) -> Result<Session, EngineError> {
+        Engine::for_scenario(spec).build()
+    }
+
+    #[test]
+    fn hit_after_miss_and_lru_eviction() {
+        let cache = EngineCache::new(2);
+        let (a1, hit) = cache
+            .get_or_build("muddy:n=2,dirty=1", || build("muddy:n=2,dirty=1"))
+            .unwrap();
+        assert!(!hit);
+        let (a2, hit) = cache
+            .get_or_build("muddy:n=2,dirty=1", || panic!("must not rebuild"))
+            .unwrap();
+        assert!(hit);
+        assert!(Arc::ptr_eq(&a1, &a2));
+
+        cache
+            .get_or_build("muddy:n=2,dirty=2", || build("muddy:n=2,dirty=2"))
+            .unwrap();
+        // Touch the first key so the second becomes the LRU victim.
+        cache
+            .get_or_build("muddy:n=2,dirty=1", || panic!("must not rebuild"))
+            .unwrap();
+        cache
+            .get_or_build("muddy:n=3,dirty=1", || build("muddy:n=3,dirty=1"))
+            .unwrap();
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 1);
+        let (_, hit) = cache
+            .get_or_build("muddy:n=2,dirty=1", || panic!("was evicted"))
+            .unwrap();
+        assert!(hit, "recently-touched entry survived the eviction");
+    }
+
+    #[test]
+    fn build_errors_are_not_cached() {
+        let cache = EngineCache::new(2);
+        assert!(cache.get_or_build("nope", || build("nope")).is_err());
+        assert_eq!(cache.len(), 0);
+    }
+}

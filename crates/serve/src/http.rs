@@ -1,0 +1,211 @@
+//! A deliberately small HTTP/1.1 reader/writer over `std::net`.
+//!
+//! The workspace is offline, so there is no hyper/tokio: requests are
+//! parsed from a `BufReader<TcpStream>` — request line, headers,
+//! `Content-Length`-delimited body — and responses are written with
+//! explicit lengths so connections can be kept alive. Only the features
+//! the service needs exist: `GET`/`POST`, keep-alive, a body-size cap,
+//! and a read-timeout-driven idle signal so workers can notice shutdown
+//! while parked on an open connection.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Largest accepted request body; longer bodies get `413`.
+pub(crate) const MAX_BODY: usize = 1 << 20;
+
+/// One parsed request.
+#[derive(Debug)]
+pub(crate) struct Request {
+    /// `GET`, `POST`, … (uppercased by the client).
+    pub method: String,
+    /// The request target, e.g. `/query`.
+    pub path: String,
+    /// The body (empty when no `Content-Length` was sent).
+    pub body: String,
+    /// `false` when the client asked for `Connection: close`.
+    pub keep_alive: bool,
+}
+
+/// What [`read_request`] found on the wire.
+#[derive(Debug)]
+pub(crate) enum ReadOutcome {
+    /// A complete request.
+    Request(Request),
+    /// The read timed out before the first byte: the connection is idle.
+    /// The caller decides whether to keep waiting (and can check for
+    /// shutdown in between).
+    Idle,
+    /// The peer closed the connection (clean EOF before a request line).
+    Closed,
+    /// The declared body exceeds [`MAX_BODY`].
+    TooLarge,
+    /// Unparseable request line or headers; the connection should be
+    /// answered with `400` and closed.
+    Malformed(String),
+}
+
+/// Reads one request, honouring the stream's read timeout.
+pub(crate) fn read_request(reader: &mut BufReader<TcpStream>) -> ReadOutcome {
+    let mut line = String::new();
+    match reader.read_line(&mut line) {
+        Ok(0) => return ReadOutcome::Closed,
+        Ok(_) => {}
+        Err(e)
+            if matches!(
+                e.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+            ) =>
+        {
+            return ReadOutcome::Idle;
+        }
+        Err(_) => return ReadOutcome::Closed,
+    }
+    let mut parts = line.split_whitespace();
+    let (Some(method), Some(path)) = (parts.next(), parts.next()) else {
+        return ReadOutcome::Malformed("bad request line".to_string());
+    };
+    let method = method.to_ascii_uppercase();
+    let path = path.to_string();
+
+    let mut content_length = 0usize;
+    let mut keep_alive = true;
+    loop {
+        let mut header = String::new();
+        match reader.read_line(&mut header) {
+            Ok(0) => return ReadOutcome::Closed,
+            Ok(_) => {}
+            Err(_) => return ReadOutcome::Malformed("unreadable header".to_string()),
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        let Some((name, value)) = header.split_once(':') else {
+            return ReadOutcome::Malformed(format!("bad header `{header}`"));
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            match value.parse::<usize>() {
+                Ok(n) => content_length = n,
+                Err(_) => return ReadOutcome::Malformed("bad content-length".to_string()),
+            }
+        } else if name.eq_ignore_ascii_case("connection") && value.eq_ignore_ascii_case("close") {
+            keep_alive = false;
+        }
+    }
+    if content_length > MAX_BODY {
+        return ReadOutcome::TooLarge;
+    }
+    let mut body = vec![0u8; content_length];
+    if reader.read_exact(&mut body).is_err() {
+        return ReadOutcome::Malformed("truncated body".to_string());
+    }
+    let Ok(body) = String::from_utf8(body) else {
+        return ReadOutcome::Malformed("body is not utf-8".to_string());
+    };
+    ReadOutcome::Request(Request {
+        method,
+        path,
+        body,
+        keep_alive,
+    })
+}
+
+/// The reason phrase for the status codes the service emits.
+pub(crate) fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes one JSON response with an explicit `Content-Length`.
+pub(crate) fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+) -> io::Result<()> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\n\
+         content-length: {}\r\nconnection: {connection}\r\n\r\n",
+        reason(status),
+        body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// A one-shot HTTP client: sends `method path` with `body` and returns
+/// `(status, response body)`. Used by `--selftest`, the benchmark
+/// driver, and the CI smoke — and handy for scripting against a local
+/// server without curl.
+///
+/// # Errors
+///
+/// Propagates connection and read errors; a malformed status line or
+/// missing `Content-Length` surfaces as [`io::ErrorKind::InvalidData`].
+pub fn http_call(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> io::Result<(u16, String)> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    let mut writer = stream.try_clone()?;
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-length: {}\r\n\
+         connection: close\r\n\r\n{body}",
+        body.len(),
+    );
+    writer.write_all(request.as_bytes())?;
+    writer.flush()?;
+
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad status line `{}`", status_line.trim_end()),
+            )
+        })?;
+    let mut content_length = None;
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            break;
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse::<usize>().ok();
+            }
+        }
+    }
+    let n = content_length
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "missing content-length"))?;
+    let mut body = vec![0u8; n];
+    reader.read_exact(&mut body)?;
+    let body = String::from_utf8(body)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-utf-8 body"))?;
+    Ok((status, body))
+}

@@ -1,0 +1,66 @@
+//! `hm-serve` — the epistemic query service.
+//!
+//! Halpern–Moses frames are expensive to build (adversarial run
+//! enumeration, interpreted-system construction, optional bisimulation
+//! minimisation) and cheap to query once built — and a [`Session`] is
+//! `Send + Sync`, its formula caches lock-striped. This crate turns
+//! that shape into a long-lived service: a std-only HTTP/1.1 server
+//! (the workspace is offline — `std::net` and a fixed worker-thread
+//! pool, no async runtime) that keeps the last few built engines warm
+//! in an LRU cache keyed by canonical scenario spec, shares one
+//! compiled-formula store across all of them, and answers JSON queries
+//! concurrently from every worker.
+//!
+//! # Endpoints
+//!
+//! | Route           | Answer |
+//! |-----------------|--------|
+//! | `GET /healthz`  | `{"ok":true}` — liveness |
+//! | `GET /stats`    | cache hits/misses/evictions, request counters, in-flight gauge |
+//! | `POST /query`   | verdict + analyzer diagnostics + timing for one formula |
+//!
+//! A query body names a scenario spec and a formula, with optional
+//! build options and per-request resource limits:
+//!
+//! ```json
+//! {"spec": "generals:horizon=8",
+//!  "formula": "K1 dispatched & !K0 K1 dispatched",
+//!  "minimize": false,
+//!  "limits": {"max_runs": 5000, "timeout_ms": 250}}
+//! ```
+//!
+//! Malformed bodies, unknown scenarios, parse failures, and evaluation
+//! errors answer `400` with a structured `{"error":{...}}` document;
+//! an exhausted resource limit answers `503` carrying the resource,
+//! phase, and spend; a panicking worker (exercised by failpoint
+//! injection in the tests) answers `500` and keeps serving.
+//!
+//! # In-process use
+//!
+//! The server binds separately from starting, so tests and embedders
+//! can learn the ephemeral port before any request races in:
+//!
+//! ```
+//! use hm_serve::{http_call, ServeConfig, Server};
+//! let server = Server::bind(&ServeConfig::default())?;
+//! let addr = server.local_addr()?;
+//! let handle = server.start()?;
+//! let (status, body) = http_call(addr, "GET", "/healthz", "")?;
+//! assert_eq!((status, body.as_str()), (200, "{\"ok\":true}"));
+//! handle.shutdown();
+//! # Ok::<(), std::io::Error>(())
+//! ```
+//!
+//! [`Session`]: hm_engine::Session
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod http;
+mod json;
+mod server;
+mod stats;
+
+pub use http::http_call;
+pub use server::{selftest, ServeConfig, Server, ServerHandle};

@@ -1,0 +1,577 @@
+//! The server proper: listener, worker pool, routing, and self-test.
+
+use crate::cache::EngineCache;
+use crate::http::{read_request, write_response, ReadOutcome, Request};
+use crate::json::{esc, Value};
+use crate::stats::Stats;
+use hm_engine::{
+    CompiledStore, Engine, EngineError, Limits, Query, ScenarioRegistry, Session, Verdict,
+};
+use std::fmt::Write as _;
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{mpsc, Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How the server is shaped: where to listen and how much to keep warm.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 asks the OS for an ephemeral port.
+    pub addr: String,
+    /// Worker threads answering requests (minimum 1).
+    pub workers: usize,
+    /// Engine-cache capacity: how many built sessions stay warm.
+    pub engine_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            engine_capacity: 8,
+        }
+    }
+}
+
+/// How long a worker waits on an idle keep-alive connection before
+/// checking for shutdown.
+const IDLE_POLL: Duration = Duration::from_millis(200);
+
+/// Idle polls before a keep-alive connection is dropped (~30 s).
+const IDLE_POLLS_MAX: u32 = 150;
+
+/// State shared by the acceptor and every worker.
+struct ServerState {
+    engines: EngineCache,
+    store: Arc<CompiledStore>,
+    stats: Stats,
+    stop: AtomicBool,
+}
+
+/// A bound-but-not-yet-running server: the listener exists (so the
+/// ephemeral port is known) but no thread has started.
+pub struct Server {
+    listener: TcpListener,
+    workers: usize,
+    state: Arc<ServerState>,
+}
+
+impl Server {
+    /// Binds the listener described by `config`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(config: &ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        Ok(Server {
+            listener,
+            workers: config.workers.max(1),
+            state: Arc::new(ServerState {
+                engines: EngineCache::new(config.engine_capacity),
+                store: Arc::new(CompiledStore::new()),
+                stats: Stats::default(),
+                stop: AtomicBool::new(false),
+            }),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the real port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket introspection failure.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Spawns the acceptor and worker threads and returns the handle
+    /// that owns them.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the address lookup failure (no thread is spawned).
+    pub fn start(self) -> io::Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = mpsc::channel();
+        let rx = Arc::new(Mutex::new(rx));
+        let mut threads = Vec::with_capacity(self.workers + 1);
+        for _ in 0..self.workers {
+            let state = Arc::clone(&self.state);
+            let rx = Arc::clone(&rx);
+            threads.push(std::thread::spawn(move || worker_loop(&state, &rx)));
+        }
+        let state = Arc::clone(&self.state);
+        let listener = self.listener;
+        threads.push(std::thread::spawn(move || {
+            // `tx` lives in this thread: when the acceptor exits, the
+            // channel disconnects and drained workers shut down.
+            for conn in listener.incoming() {
+                if state.stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                if let Ok(stream) = conn {
+                    if tx.send(stream).is_err() {
+                        break;
+                    }
+                }
+            }
+        }));
+        Ok(ServerHandle {
+            addr,
+            state: self.state,
+            threads,
+        })
+    }
+}
+
+/// A running server. Dropping the handle without calling
+/// [`shutdown`](Self::shutdown) detaches the threads (they keep serving
+/// until the process exits).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server answers on.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The current `/stats` document, without a request.
+    #[must_use]
+    pub fn stats_json(&self) -> String {
+        stats_json(&self.state)
+    }
+
+    /// Stops accepting, lets in-flight requests finish, and joins every
+    /// thread. Idle keep-alive connections are released within one
+    /// idle-poll interval (200 ms).
+    pub fn shutdown(mut self) {
+        self.state.stop.store(true, Ordering::Relaxed);
+        // Unblock the acceptor, which is parked in `accept`.
+        let _ = TcpStream::connect(self.addr);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+fn worker_loop(state: &ServerState, rx: &Mutex<Receiver<TcpStream>>) {
+    loop {
+        let stream = {
+            let guard = rx.lock().unwrap_or_else(PoisonError::into_inner);
+            guard.recv()
+        };
+        match stream {
+            Ok(stream) => handle_connection(state, stream),
+            Err(_) => return, // channel closed: server is shutting down
+        }
+    }
+}
+
+fn handle_connection(state: &ServerState, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(IDLE_POLL));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut stream = stream;
+    let mut idle_polls = 0u32;
+    loop {
+        match read_request(&mut reader) {
+            ReadOutcome::Idle => {
+                idle_polls += 1;
+                if state.stop.load(Ordering::Relaxed) || idle_polls > IDLE_POLLS_MAX {
+                    return;
+                }
+            }
+            ReadOutcome::Closed => return,
+            ReadOutcome::TooLarge => {
+                let body = error_body("request", "request body exceeds 1 MiB");
+                let _ = write_response(&mut stream, 413, &body, false);
+                return;
+            }
+            ReadOutcome::Malformed(msg) => {
+                let body = error_body("request", &msg);
+                let _ = write_response(&mut stream, 400, &body, false);
+                return;
+            }
+            ReadOutcome::Request(req) => {
+                idle_polls = 0;
+                state.stats.in_flight.fetch_add(1, Ordering::Relaxed);
+                // Contain panics — including failpoint-injected ones —
+                // to the request: the worker answers 500 and lives on.
+                let result = catch_unwind(AssertUnwindSafe(|| route(state, &req)));
+                state.stats.in_flight.fetch_sub(1, Ordering::Relaxed);
+                let (status, body) = result.unwrap_or_else(|_| {
+                    state.stats.panics.fetch_add(1, Ordering::Relaxed);
+                    (500, error_body("panic", "request handler panicked"))
+                });
+                let keep_alive = req.keep_alive && !state.stop.load(Ordering::Relaxed);
+                if write_response(&mut stream, status, &body, keep_alive).is_err() || !keep_alive {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+fn route(state: &ServerState, req: &Request) -> (u16, String) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => {
+            state.stats.healthz.fetch_add(1, Ordering::Relaxed);
+            (200, "{\"ok\":true}".to_string())
+        }
+        ("GET", "/stats") => {
+            state.stats.stats.fetch_add(1, Ordering::Relaxed);
+            (200, stats_json(state))
+        }
+        ("POST", "/query") => {
+            let started = Instant::now();
+            let (status, body) = answer_query(state, &req.body);
+            let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+            state
+                .stats
+                .query_micros
+                .fetch_add(micros, Ordering::Relaxed);
+            let counter = match status {
+                200 => &state.stats.query_ok,
+                503 => &state.stats.query_limit,
+                _ => &state.stats.query_client_error,
+            };
+            counter.fetch_add(1, Ordering::Relaxed);
+            (status, body)
+        }
+        ("GET" | "POST", _) => {
+            state.stats.not_found.fetch_add(1, Ordering::Relaxed);
+            (
+                404,
+                error_body("not-found", &format!("no route `{}`", req.path)),
+            )
+        }
+        _ => {
+            state.stats.not_found.fetch_add(1, Ordering::Relaxed);
+            (
+                405,
+                error_body("method", &format!("method `{}` not allowed", req.method)),
+            )
+        }
+    }
+}
+
+fn stats_json(state: &ServerState) -> String {
+    state.stats.to_json(
+        state.engines.len(),
+        state.engines.capacity(),
+        state.engines.evictions(),
+        state.store.len(),
+    )
+}
+
+/// The parsed, validated body of a `/query` request.
+struct QueryRequest {
+    spec: String,
+    formula: String,
+    horizon: Option<u64>,
+    minimize: bool,
+    limits: Option<Limits>,
+}
+
+fn parse_query_request(body: &str) -> Result<QueryRequest, String> {
+    let v = Value::parse(body)?;
+    let spec = v.field("spec")?.string()?;
+    let formula = v.field("formula")?.string()?;
+    let horizon = v.opt_field("horizon").map(Value::u64).transpose()?;
+    let minimize = v
+        .opt_field("minimize")
+        .map(Value::boolean)
+        .transpose()?
+        .unwrap_or(false);
+    let limits = match v.opt_field("limits") {
+        None => None,
+        Some(lv) => {
+            let mut limits = Limits::none();
+            if let Some(n) = lv.opt_field("max_runs").map(Value::u64).transpose()? {
+                limits = limits.max_runs(n);
+            }
+            if let Some(n) = lv.opt_field("max_worlds").map(Value::u64).transpose()? {
+                limits = limits.max_worlds(n);
+            }
+            if let Some(n) = lv
+                .opt_field("max_states_visited")
+                .map(Value::u64)
+                .transpose()?
+            {
+                limits = limits.max_states_visited(n);
+            }
+            if let Some(ms) = lv.opt_field("timeout_ms").map(Value::u64).transpose()? {
+                limits = limits.timeout(Duration::from_millis(ms));
+            }
+            if limits.is_unlimited() {
+                None
+            } else {
+                Some(limits)
+            }
+        }
+    };
+    Ok(QueryRequest {
+        spec,
+        formula,
+        horizon,
+        minimize,
+        limits,
+    })
+}
+
+fn answer_query(state: &ServerState, body: &str) -> (u16, String) {
+    let req = match parse_query_request(body) {
+        Ok(req) => req,
+        Err(msg) => return (400, error_body("request", &msg)),
+    };
+    // Normalise the spec (sort parameters, fill defaults) so the cache
+    // key is stable across equivalent spellings; rejects unknown
+    // scenarios and out-of-range parameters before any engine work.
+    let canonical = match ScenarioRegistry::builtin().canonical_spec(&req.spec) {
+        Ok(c) => c,
+        Err(e) => return (400, error_body("spec", &e.to_string())),
+    };
+    let query = match Query::parse(&req.formula) {
+        Ok(q) => q,
+        Err(e) => return engine_error_body(&e),
+    };
+
+    let build = |limits: Option<Limits>| -> Result<Session, EngineError> {
+        let mut engine = Engine::for_scenario(&canonical).compiled_store(Arc::clone(&state.store));
+        if let Some(h) = req.horizon {
+            engine = engine.horizon(h);
+        }
+        if let Some(l) = limits {
+            engine = engine.limits(l);
+        }
+        engine.minimize(req.minimize).build()
+    };
+
+    let build_started = Instant::now();
+    let (session, cache_state) = if let Some(limits) = req.limits.clone() {
+        // A budget is anchored at build time and spent over the
+        // session's whole life, so limited sessions are never shared:
+        // build fresh, use once, drop.
+        state.stats.engine_bypass.fetch_add(1, Ordering::Relaxed);
+        match build(Some(limits)) {
+            Ok(s) => (Arc::new(s), "bypass"),
+            Err(e) => return engine_error_body(&e),
+        }
+    } else {
+        let key = format!(
+            "{canonical}|horizon={:?}|minimize={}",
+            req.horizon, req.minimize
+        );
+        match state.engines.get_or_build(&key, || build(None)) {
+            Ok((s, true)) => {
+                state.stats.engine_hits.fetch_add(1, Ordering::Relaxed);
+                (s, "hit")
+            }
+            Ok((s, false)) => {
+                state.stats.engine_misses.fetch_add(1, Ordering::Relaxed);
+                (s, "miss")
+            }
+            Err(e) => return engine_error_body(&e),
+        }
+    };
+    let build_micros = u64::try_from(build_started.elapsed().as_micros()).unwrap_or(u64::MAX);
+
+    let ask_started = Instant::now();
+    let verdict = match session.ask(&query) {
+        Ok(v) => v,
+        Err(e) => return engine_error_body(&e),
+    };
+    let ask_micros = u64::try_from(ask_started.elapsed().as_micros()).unwrap_or(u64::MAX);
+    let diagnostics = session.check(&query);
+
+    let mut out = String::new();
+    out.push_str("{\"spec\":");
+    esc(&mut out, &canonical);
+    out.push_str(",\"formula\":");
+    esc(&mut out, &query.to_string());
+    let _ = write!(out, ",\"verdict\":{}", verdict_json(&verdict, &session));
+    let _ = write!(out, ",\"diagnostics\":{}", diagnostics.to_json());
+    let _ = write!(
+        out,
+        ",\"engine_cache\":\"{cache_state}\",\
+         \"timing_us\":{{\"session\":{build_micros},\"ask\":{ask_micros}}}}}"
+    );
+    (200, out)
+}
+
+fn verdict_json(verdict: &Verdict, session: &Session) -> String {
+    format!(
+        "{{\"count\":{},\"worlds\":{},\"valid\":{},\"empty\":{}}}",
+        verdict.count(),
+        session.num_worlds(),
+        verdict.is_valid(),
+        verdict.is_empty(),
+    )
+}
+
+/// `{"error":{"kind":…,"message":…}}`.
+fn error_body(kind: &str, message: &str) -> String {
+    let mut out = String::from("{\"error\":{\"kind\":");
+    esc(&mut out, kind);
+    out.push_str(",\"message\":");
+    esc(&mut out, message);
+    out.push_str("}}");
+    out
+}
+
+/// Maps an [`EngineError`] to a status and JSON error document: resource
+/// exhaustion is the server's fault under load (`503`), everything else
+/// is the request's (`400`).
+fn engine_error_body(e: &EngineError) -> (u16, String) {
+    if let Some(l) = e.limit() {
+        let mut out = String::from("{\"error\":{\"kind\":\"limit\",\"resource\":");
+        esc(&mut out, &l.resource.to_string());
+        out.push_str(",\"phase\":");
+        esc(&mut out, &l.phase.to_string());
+        let _ = write!(out, ",\"spent\":{},\"limit\":{},", l.spent, l.limit);
+        out.push_str("\"message\":");
+        esc(&mut out, &e.to_string());
+        out.push_str("}}");
+        return (503, out);
+    }
+    let kind = match e {
+        EngineError::Spec(_) => "spec",
+        EngineError::Parse(_) => "parse",
+        EngineError::Eval(_) => "eval",
+        EngineError::Enumerate(_) => "enumerate",
+        EngineError::NoRunStructure => "no-run-structure",
+        EngineError::PartialFrame => "partial-frame",
+        EngineError::LimitExceeded(_) => unreachable!("limit() above matched"),
+    };
+    (400, error_body(kind, &e.to_string()))
+}
+
+// ---------------------------------------------------------------------------
+// Self-test
+// ---------------------------------------------------------------------------
+
+/// Starts a server on an ephemeral port and drives it through the whole
+/// contract from the outside: health, a good query (cold then warm), a
+/// malformed body, an unknown scenario, a limit-exhausted query, an
+/// unknown route, and a small concurrent burst. Returns a human-readable
+/// report on success.
+///
+/// # Errors
+///
+/// The first failed expectation, described.
+pub fn selftest(workers: usize) -> Result<String, String> {
+    let io_err = |e: io::Error| format!("io: {e}");
+    let config = ServeConfig {
+        workers,
+        ..ServeConfig::default()
+    };
+    let server = Server::bind(&config).map_err(io_err)?;
+    let handle = server.start().map_err(io_err)?;
+    let addr = handle.addr();
+    let mut report = format!("selftest against {addr} ({workers} workers)\n");
+
+    let result = (|| -> Result<(), String> {
+        let (status, body) = crate::http::http_call(addr, "GET", "/healthz", "").map_err(io_err)?;
+        expect(status, 200, "healthz", &body)?;
+        report.push_str("  healthz            200\n");
+
+        let good = r#"{"spec":"generals","formula":"K1 dispatched & !K0 K1 dispatched"}"#;
+        let (status, body) =
+            crate::http::http_call(addr, "POST", "/query", good).map_err(io_err)?;
+        expect(status, 200, "good query", &body)?;
+        if !body.contains("\"engine_cache\":\"miss\"") {
+            return Err(format!("first query should miss the cache: {body}"));
+        }
+        let (status, body) =
+            crate::http::http_call(addr, "POST", "/query", good).map_err(io_err)?;
+        expect(status, 200, "warm query", &body)?;
+        if !body.contains("\"engine_cache\":\"hit\"") {
+            return Err(format!("second query should hit the cache: {body}"));
+        }
+        report.push_str("  query cold/warm    200 miss, 200 hit\n");
+
+        let (status, body) =
+            crate::http::http_call(addr, "POST", "/query", "{not json").map_err(io_err)?;
+        expect(status, 400, "malformed body", &body)?;
+        let (status, body) = crate::http::http_call(
+            addr,
+            "POST",
+            "/query",
+            r#"{"spec":"no-such-scenario","formula":"true"}"#,
+        )
+        .map_err(io_err)?;
+        expect(status, 400, "unknown scenario", &body)?;
+        report.push_str("  malformed/unknown  400, 400\n");
+
+        let limited = r#"{"spec":"generals:horizon=8","formula":"C{0,1} dispatched","limits":{"max_runs":2}}"#;
+        let (status, body) =
+            crate::http::http_call(addr, "POST", "/query", limited).map_err(io_err)?;
+        expect(status, 503, "limit exhaustion", &body)?;
+        if !body.contains("\"kind\":\"limit\"") {
+            return Err(format!("limit error should be structured: {body}"));
+        }
+        report.push_str("  limit exhausted    503 structured\n");
+
+        let (status, body) = crate::http::http_call(addr, "GET", "/nope", "").map_err(io_err)?;
+        expect(status, 404, "unknown route", &body)?;
+
+        // A small concurrent burst over one cached engine.
+        let burst_threads = 4;
+        let burst_each = 8;
+        let mut joins = Vec::new();
+        for _ in 0..burst_threads {
+            joins.push(std::thread::spawn(move || -> Result<(), String> {
+                for _ in 0..burst_each {
+                    let (status, body) = crate::http::http_call(
+                        addr,
+                        "POST",
+                        "/query",
+                        r#"{"spec":"generals","formula":"K1 dispatched"}"#,
+                    )
+                    .map_err(|e| format!("io: {e}"))?;
+                    expect(status, 200, "burst query", &body)?;
+                }
+                Ok(())
+            }));
+        }
+        for j in joins {
+            j.join()
+                .map_err(|_| "burst thread panicked".to_string())??;
+        }
+        report.push_str(&format!(
+            "  burst              {} queries over {burst_threads} connections\n",
+            burst_threads * burst_each
+        ));
+
+        let (status, stats) = crate::http::http_call(addr, "GET", "/stats", "").map_err(io_err)?;
+        expect(status, 200, "stats", &stats)?;
+        Value::parse(&stats).map_err(|e| format!("stats is not valid JSON ({e}): {stats}"))?;
+        report.push_str("  stats              200 valid JSON\n");
+        Ok(())
+    })();
+    handle.shutdown();
+    result?;
+    report.push_str("  shutdown           clean\nok\n");
+    Ok(report)
+}
+
+fn expect(got: u16, want: u16, what: &str, body: &str) -> Result<(), String> {
+    if got == want {
+        Ok(())
+    } else {
+        Err(format!("{what}: expected {want}, got {got}: {body}"))
+    }
+}

@@ -1,0 +1,113 @@
+//! Service counters behind `/stats`.
+//!
+//! All counters are relaxed atomics: they are monotone telemetry, read
+//! at a single point in time by the stats endpoint, and never used for
+//! control flow — exact cross-counter consistency is not required.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counter block shared by every worker.
+#[derive(Debug, Default)]
+pub(crate) struct Stats {
+    /// Engine-cache hits (`/query` served from a cached session).
+    pub engine_hits: AtomicU64,
+    /// Engine-cache misses (a session was built and cached).
+    pub engine_misses: AtomicU64,
+    /// Requests that bypassed the cache because they carried limits.
+    pub engine_bypass: AtomicU64,
+    /// Requests currently being handled (gauge).
+    pub in_flight: AtomicU64,
+    /// `GET /healthz` hits.
+    pub healthz: AtomicU64,
+    /// `GET /stats` hits.
+    pub stats: AtomicU64,
+    /// `/query` answered 200.
+    pub query_ok: AtomicU64,
+    /// `/query` answered 400 (malformed request, spec/parse/eval error).
+    pub query_client_error: AtomicU64,
+    /// `/query` answered 503 (resource limit exhausted).
+    pub query_limit: AtomicU64,
+    /// Requests answered 500 after a contained worker panic.
+    pub panics: AtomicU64,
+    /// Requests for unknown paths or unsupported methods.
+    pub not_found: AtomicU64,
+    /// Total microseconds spent answering `/query` (all verdicts).
+    pub query_micros: AtomicU64,
+}
+
+impl Stats {
+    /// Renders every counter plus the cache shape as one JSON object.
+    pub(crate) fn to_json(
+        &self,
+        engines: usize,
+        capacity: usize,
+        evictions: u64,
+        compiled_formulas: usize,
+    ) -> String {
+        let g = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        let queries = g(&self.query_ok) + g(&self.query_client_error) + g(&self.query_limit);
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"engines\":{{\"cached\":{engines},\"capacity\":{capacity},\
+             \"hits\":{},\"misses\":{},\"bypass\":{},\"evictions\":{evictions},\
+             \"compiled_formulas\":{compiled_formulas}}},",
+            g(&self.engine_hits),
+            g(&self.engine_misses),
+            g(&self.engine_bypass),
+        );
+        let _ = write!(
+            out,
+            "\"requests\":{{\"healthz\":{},\"stats\":{},\"query_ok\":{},\
+             \"query_client_error\":{},\"query_limit\":{},\"panics\":{},\
+             \"not_found\":{}}},",
+            g(&self.healthz),
+            g(&self.stats),
+            g(&self.query_ok),
+            g(&self.query_client_error),
+            g(&self.query_limit),
+            g(&self.panics),
+            g(&self.not_found),
+        );
+        let _ = write!(
+            out,
+            "\"in_flight\":{},\"query_micros_total\":{},\"queries\":{queries}}}",
+            g(&self.in_flight),
+            g(&self.query_micros),
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_json_is_well_formed() {
+        let s = Stats::default();
+        s.engine_hits.store(3, Ordering::Relaxed);
+        s.query_ok.store(2, Ordering::Relaxed);
+        s.query_limit.store(1, Ordering::Relaxed);
+        let json = s.to_json(2, 8, 1, 5);
+        let v = crate::json::Value::parse(&json).unwrap();
+        assert_eq!(
+            v.field("engines").unwrap().field("hits").unwrap().u64(),
+            Ok(3)
+        );
+        assert_eq!(
+            v.field("engines").unwrap().field("capacity").unwrap().u64(),
+            Ok(8)
+        );
+        assert_eq!(v.field("queries").unwrap().u64(), Ok(3));
+        assert_eq!(
+            v.field("requests")
+                .unwrap()
+                .field("query_limit")
+                .unwrap()
+                .u64(),
+            Ok(1)
+        );
+    }
+}

@@ -1,0 +1,70 @@
+//! Panic containment under fault injection (requires the `failpoints`
+//! cargo feature): a worker that dies mid-evaluation answers `500` and
+//! the server keeps serving — no process death, no wedged session.
+//!
+//! `FailScenario::setup` holds a process-global lock, so these tests
+//! serialize against each other even under the parallel test runner.
+
+#![cfg(feature = "failpoints")]
+
+use hm_engine::limits::failpoints::{Action, FailScenario};
+use hm_serve::{http_call, ServeConfig, Server};
+
+#[test]
+fn injected_worker_panic_answers_500_and_server_survives() {
+    let sc = FailScenario::setup();
+    let server = Server::bind(&ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let handle = server.start().expect("start");
+
+    // Warm the engine so the panic lands in evaluation, inside a
+    // session whose caches other requests share.
+    let good = r#"{"spec":"generals","formula":"K1 dispatched"}"#;
+    let (status, body) = http_call(addr, "POST", "/query", good).expect("warm");
+    assert_eq!(status, 200, "{body}");
+
+    sc.configure("logic::eval", Action::Panic);
+    for _ in 0..3 {
+        let (status, body) = http_call(addr, "POST", "/query", good).expect("injected");
+        assert_eq!(status, 500, "{body}");
+        assert!(body.contains("\"kind\":\"panic\""), "{body}");
+    }
+    sc.clear("logic::eval");
+
+    // Same session, same connection pool: panics poisoned nothing.
+    let (status, body) = http_call(addr, "POST", "/query", good).expect("recovered");
+    assert_eq!(status, 200, "{body}");
+    let (status, stats) = http_call(addr, "GET", "/stats", "").expect("stats");
+    assert_eq!(status, 200);
+    assert!(stats.contains("\"panics\":3"), "{stats}");
+    handle.shutdown();
+}
+
+#[test]
+fn panic_during_engine_build_is_contained_too() {
+    let sc = FailScenario::setup();
+    let server = Server::bind(&ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let handle = server.start().expect("start");
+
+    sc.configure("netsim::enumerate", Action::Panic);
+    let body = r#"{"spec":"generals","formula":"K1 dispatched"}"#;
+    let (status, response) = http_call(addr, "POST", "/query", body).expect("build panic");
+    assert_eq!(status, 500, "{response}");
+    sc.clear("netsim::enumerate");
+
+    // The failed build was not cached; the next attempt succeeds on the
+    // same (sole) worker.
+    let (status, response) = http_call(addr, "POST", "/query", body).expect("after clear");
+    assert_eq!(status, 200, "{response}");
+    assert!(response.contains("\"engine_cache\":\"miss\""), "{response}");
+    handle.shutdown();
+}

@@ -40,7 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("formula:  {query}");
 
     // One pipeline for every scenario: spec → Engine → Session → Verdict.
-    let mut session = match Engine::for_scenario(&spec).build() {
+    let session = match Engine::for_scenario(&spec).build() {
         Ok(s) => s,
         Err(EngineError::Spec(e)) => {
             // Spec errors are self-describing: unknown scenario (with a

@@ -22,6 +22,9 @@
 //!   deadlines and cooperative cancellation for every expensive phase,
 //!   with typed `LimitExceeded` errors and optional graceful
 //!   degradation to truncated frames.
+//! - [`serve`]: the query service — a std-only HTTP server (`hm serve`)
+//!   answering JSON queries from a pool of worker threads, with an LRU
+//!   cache of built engines and a shared compiled-formula store.
 //!
 //! # Quick start
 //!
@@ -44,3 +47,4 @@ pub use hm_limits as limits;
 pub use hm_logic as logic;
 pub use hm_netsim as netsim;
 pub use hm_runs as runs;
+pub use hm_serve as serve;

@@ -13,8 +13,8 @@ use halpern_moses::netsim::scenarios::R2d2Mode;
 /// and requires identical satisfying sets (the quotient answers
 /// quotient-safe queries; temporal and `D_G` queries fall back).
 fn assert_minimize_invariant(mk: impl Fn() -> Engine, formulas: &[&str]) {
-    let mut raw = mk().minimize(false).build().expect("raw build");
-    let mut min = mk().minimize(true).build().expect("minimized build");
+    let raw = mk().minimize(false).build().expect("raw build");
+    let min = mk().minimize(true).build().expect("minimized build");
     assert!(
         min.quotient().is_some(),
         "minimize(true) attaches a quotient"
@@ -155,7 +155,7 @@ fn quotient_actually_shrinks_run_frames() {
 #[test]
 fn engine_options_compose() {
     // horizon + minimize + parallel on one pipeline.
-    let mut session = Engine::for_scenario("generals")
+    let session = Engine::for_scenario("generals")
         .horizon(6)
         .minimize(true)
         .parallel_enumeration(true)

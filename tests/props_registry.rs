@@ -18,7 +18,7 @@ fn every_registered_scenario_builds_and_answers() {
         let scenario = reg.get(name).unwrap();
         let query = Query::parse(&scenario.example_query())
             .unwrap_or_else(|e| panic!("{name}: example query: {e}"));
-        let mut session = Engine::for_scenario(name)
+        let session = Engine::for_scenario(name)
             .build()
             .unwrap_or_else(|e| panic!("{name}: build: {e}"));
         let verdict = session
@@ -40,7 +40,7 @@ fn example_queries_hold_somewhere() {
     for name in reg.names() {
         let scenario = reg.get(&name).unwrap();
         let query = Query::parse(&scenario.example_query()).unwrap();
-        let mut session = Engine::for_scenario(&name).build().unwrap();
+        let session = Engine::for_scenario(&name).build().unwrap();
         assert!(
             !session.ask(&query).unwrap().is_empty(),
             "{name}: `{}` holds nowhere",
