@@ -49,6 +49,21 @@ code=0; out=$($HM ask "agreement:n=4,f=2" "C{0,1,2,3} min0" --max-runs 100 --par
 test "$code" -eq 0
 printf '%s\n' "$out" | grep -q "unknown"
 
+# Symmetry reduction (PR 9): the heavy differential + KAT tests are
+# #[ignore]d for the debug tier-1 run above; run them here in release
+# mode — reduced-vs-naive parity at n=4,f=2 (the largest naive build
+# that fits), parity under minimisation at n=3,f=2, and the f=3
+# safety + CK-onset pins on the reduced system.
+cargo test -q --release -p hm-engine --test symmetry -- --include-ignored
+cargo test -q --release -p hm-core agreement -- --ignored
+
+# f=3 interactive smoke with a wall-clock guard: the acceptance bound
+# is < 10 s in release mode for build + CK-onset query, end to end.
+start=$(date +%s)
+$HM ask "agreement:n=4,f=3" "C{0,1,2,3} min0" --show 0
+end=$(date +%s)
+test $((end - start)) -lt 10
+
 # Fault injection: the failpoint suites force exhaustion, cancellation
 # and worker death at every governed phase boundary — including inside
 # the HTTP worker pool, which must answer 500 and keep serving.

@@ -1,0 +1,72 @@
+//! Cost and payoff of the symmetry-reduced agreement enumeration
+//! (PR 9): crash-pattern canonicalisation, reduced-vs-naive frame
+//! builds where both fit, and the f=3 headline that only the reduced
+//! build can reach interactively.
+//!
+//! The reduction factors are recorded in the benchmark ids (orbits vs
+//! naive patterns), so `BENCH_pr9.json` carries both the wall clocks
+//! and the state-space ratios.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hm_core::agreement::{canonical_patterns, ck_onset_in_clean_run, AgreementSpec};
+use hm_engine::Engine;
+use std::hint::black_box;
+
+fn bench_canonicalise(c: &mut Criterion) {
+    let mut group = c.benchmark_group("symmetry_canonicalise");
+    // Ids carry the orbit / naive-pattern counts (the reduction factor).
+    for (n, f, name) in [
+        (3, 2, "n3_f2_88_of_469"),
+        (4, 2, "n4_f2_205_of_3577"),
+        (4, 3, "n4_f3_6081_of_137345"),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(canonical_patterns(AgreementSpec { n, f })))
+        });
+    }
+    group.finish();
+}
+
+fn build(spec: &str) -> usize {
+    let session = Engine::for_scenario(spec).build().unwrap();
+    session.num_worlds()
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("symmetry_build");
+    // Where the naive build still fits, measure both sides of the
+    // differential suite's comparison.
+    for (spec, name) in [
+        ("agreement:n=3,f=2,mode=naive", "n3_f2_naive_3752_runs"),
+        ("agreement:n=3,f=2,mode=reduced", "n3_f2_reduced_704_runs"),
+        ("agreement:n=4,f=2,mode=naive", "n4_f2_naive_57232_runs"),
+        ("agreement:n=4,f=2,mode=reduced", "n4_f2_reduced_3280_runs"),
+    ] {
+        group.bench_function(name, |b| b.iter(|| black_box(build(spec))));
+    }
+    group.finish();
+}
+
+fn bench_f3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("symmetry_f3");
+    // The acceptance headline: build the reduced n=4, f=3 frame
+    // (97,296 runs, 681,072 worlds — naive would be 2,197,520 runs) and
+    // answer the CK-onset query; must stay well under 10 s.
+    group.bench_function("n4_f3_build_and_ck_onset_97296_of_2197520_runs", |b| {
+        b.iter(|| {
+            let session = Engine::for_scenario("agreement:n=4,f=3").build().unwrap();
+            let isys = session.interpreted().unwrap();
+            let onset = ck_onset_in_clean_run(isys, 0b0110).unwrap();
+            assert_eq!(onset, Some(5), "CK at round f+1");
+            black_box(onset)
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_canonicalise, bench_build, bench_f3
+}
+criterion_main!(benches);

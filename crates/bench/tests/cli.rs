@@ -115,8 +115,9 @@ fn describe_shows_parameters_and_example() {
     for needle in [
         "agreement — simultaneous agreement under crash failures",
         "exercised by: E18",
-        "integer in 3..=4",
-        "integer in 1..=2",
+        "integer in 3..=5",
+        "integer in 1..=3",
+        "auto|naive|reduced",
         "example: hm ask agreement \"C{0,1,2} min0\"",
     ] {
         assert!(text.contains(needle), "`{needle}` missing:\n{text}");

@@ -19,12 +19,26 @@
 //! forever. We enumerate every pattern of at most `f` crashes — each a
 //! `(crasher, round, subset)` triple with distinct crashers — plus the
 //! failure-free pattern, over all binary input assignments. This
-//! implementation supports `f ∈ {1, 2}`; the structure generalises but
-//! the pattern space grows fast (`n = 3, f = 1`: 200 runs; `n = 3,
-//! f = 2`: 3 752; `n = 4, f = 2`: ~57k).
+//! implementation supports `f ∈ {1, 2, 3}`; the pattern space grows fast
+//! (`n = 3, f = 1`: 200 runs; `n = 3, f = 2`: 3 752; `n = 4, f = 2`:
+//! ~57k; `n = 4, f = 3`: ~2.2M naive).
+//!
+//! Beyond `f = 2` the naive product is impractical, so this module also
+//! provides a **symmetry-reduced** enumeration
+//! ([`agreement_system_reduced_budgeted`]): crash patterns are
+//! canonicalised up to process renaming ([`canonicalize_pattern`]) and
+//! only one representative per orbit is executed, with the orbit size
+//! recorded as a multiplicity ([`canonical_patterns`]). Every binary
+//! input assignment is still enumerated for each representative, which
+//! keeps the reduced system closed under the representative pattern's
+//! stabilizer — the property that preserves the epistemic structure for
+//! process-symmetric queries (atoms like `min0`/`decided0`, `E`/`C` over
+//! all processors). The reduced ≡ naive verdict parity is pinned
+//! world-by-world by the differential suite in
+//! `crates/engine/tests/symmetry.rs`.
 
 use hm_kripke::{AgentGroup, AgentId};
-use hm_limits::{Admission, Budget, LimitExceeded, Phase, Resource};
+use hm_limits::{failpoints, Admission, Budget, LimitExceeded, Phase, Resource};
 use hm_logic::{EvalError, Formula};
 use hm_runs::{CompleteHistory, Event, InterpretedSystem, Message, RunBuilder, System};
 
@@ -37,25 +51,45 @@ pub const ACT_DECIDE: u32 = 201;
 /// Configuration of the agreement experiment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AgreementSpec {
-    /// Number of processors (3..=4 keeps enumeration snappy).
+    /// Number of processors (3..=5; beyond 4 only the reduced
+    /// enumeration is practical).
     pub n: usize,
     /// Maximum number of crashes (this implementation enumerates
-    /// `f ∈ {1, 2}`).
+    /// `f ∈ {1, 2, 3}`).
     pub f: usize,
 }
 
-/// One crash: the crasher, its final (1-based) round, and the
-/// recipients that still get its final-round message.
-#[derive(Debug, Clone, PartialEq, Eq)]
-struct Crash {
-    crasher: usize,
-    round: usize,
-    recipients: Vec<usize>,
+impl AgreementSpec {
+    /// Validates the implemented range: `f ∈ 1..=3`, `n ∈ 3..=5`,
+    /// `n > f`.
+    fn check(self) {
+        assert!(
+            (1..=3).contains(&self.f),
+            "this experiment enumerates f in 1..=3"
+        );
+        assert!(
+            self.n >= 3 && self.n <= 5 && self.n > self.f,
+            "need 3 <= n <= 5 and n > f"
+        );
+    }
 }
 
-/// A crash pattern: at most `f` crashes with distinct crashers; empty
-/// means failure-free.
-type CrashPattern = Vec<Crash>;
+/// One crash: the crasher, its final (1-based) round, and the
+/// recipients that still get its final-round message (ascending).
+#[derive(Debug, Clone, Hash, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Crash {
+    /// The crashing processor.
+    pub crasher: usize,
+    /// The 1-based round of its last (partial) broadcast.
+    pub round: usize,
+    /// The processors that still receive its final-round message,
+    /// sorted ascending.
+    pub recipients: Vec<usize>,
+}
+
+/// A crash pattern: at most `f` crashes with distinct crashers, sorted
+/// by crasher; empty means failure-free.
+pub type CrashPattern = Vec<Crash>;
 
 /// Builds the full system of runs of the `f + 1`-round full-information
 /// protocol: every input assignment in `{0,1}^n` × every crash pattern
@@ -67,9 +101,10 @@ type CrashPattern = Vec<Crash>;
 ///
 /// # Panics
 ///
-/// Panics unless `spec.f ∈ {1, 2}` and `spec.n >= 3` and
+/// Panics unless `spec.f ∈ {1, 2, 3}` and `spec.n ∈ {3, 4, 5}` and
 /// `spec.n > spec.f` (the implemented range; the structure generalises
-/// but enumeration grows fast).
+/// but enumeration grows fast — beyond `f = 2` prefer
+/// [`agreement_system_reduced`]).
 pub fn agreement_system(spec: AgreementSpec) -> System {
     agreement_system_budgeted(spec, &Budget::unlimited())
         .expect("unlimited budget cannot be exceeded")
@@ -96,17 +131,12 @@ pub fn agreement_system_budgeted(
     spec: AgreementSpec,
     budget: &Budget,
 ) -> Result<System, LimitExceeded> {
-    assert!(
-        (1..=2).contains(&spec.f),
-        "this experiment enumerates f in 1..=2"
-    );
-    assert!(spec.n >= 3 && spec.n > spec.f, "need n >= 3 and n > f");
-    let n = spec.n;
-    let rounds = spec.f + 1;
-    let decide_at = (rounds + 1) as u64; // decisions enter history by then
-    let horizon = decide_at + 1;
+    let patterns = crash_patterns(spec);
+    system_over_patterns(spec, &patterns, budget)
+}
 
-    // Every single crash, in (crasher, round, subset-mask) order.
+/// Every single crash of `spec`, in (crasher, round, subset-mask) order.
+fn single_crashes(n: usize, rounds: usize) -> Vec<Crash> {
     let mut singles: Vec<Crash> = Vec::new();
     for crasher in 0..n {
         for round in 1..=rounds {
@@ -127,25 +157,71 @@ pub fn agreement_system_budgeted(
             }
         }
     }
-    // Failure-free, then the singles, then (for f = 2) every pair with
-    // distinct crashers — the f = 1 prefix is exactly the historical
-    // enumeration order.
+    singles
+}
+
+/// The naive crash-pattern space of `spec`: failure-free, then every
+/// combination of `1..=f` single crashes with distinct crashers, sizes
+/// ascending and combinations in lexicographic singles order — the
+/// `f = 1` and `f = 2` prefixes are exactly the historical enumeration
+/// order the E18 driver output depends on.
+///
+/// # Panics
+///
+/// Panics on an out-of-range `spec` (see [`agreement_system`]).
+pub fn crash_patterns(spec: AgreementSpec) -> Vec<CrashPattern> {
+    spec.check();
+    let singles = single_crashes(spec.n, spec.f + 1);
     let mut patterns: Vec<CrashPattern> = vec![Vec::new()];
-    patterns.extend(singles.iter().cloned().map(|c| vec![c]));
-    if spec.f >= 2 {
-        for (i, a) in singles.iter().enumerate() {
-            for b in &singles[i + 1..] {
-                if a.crasher != b.crasher {
-                    patterns.push(vec![a.clone(), b.clone()]);
-                }
-            }
-        }
+    let mut combo: Vec<usize> = Vec::new();
+    for size in 1..=spec.f {
+        combos_into(&singles, 0, size, &mut combo, &mut patterns);
     }
+    patterns
+}
+
+/// Appends every size-`left` extension of `combo` (indices into
+/// `singles`, ascending, distinct crashers) as a pattern.
+fn combos_into(
+    singles: &[Crash],
+    start: usize,
+    left: usize,
+    combo: &mut Vec<usize>,
+    out: &mut Vec<CrashPattern>,
+) {
+    if left == 0 {
+        out.push(combo.iter().map(|&k| singles[k].clone()).collect());
+        return;
+    }
+    for k in start..singles.len() {
+        if combo
+            .iter()
+            .any(|&p| singles[p].crasher == singles[k].crasher)
+        {
+            continue;
+        }
+        combo.push(k);
+        combos_into(singles, k + 1, left - 1, combo, out);
+        combo.pop();
+    }
+}
+
+/// Executes `inputs × patterns` under the budget — the shared back end
+/// of the naive and reduced enumerations.
+fn system_over_patterns(
+    spec: AgreementSpec,
+    patterns: &[CrashPattern],
+    budget: &Budget,
+) -> Result<System, LimitExceeded> {
+    let n = spec.n;
+    let rounds = spec.f + 1;
+    let decide_at = (rounds + 1) as u64; // decisions enter history by then
+    let horizon = decide_at + 1;
 
     let mut runs = Vec::new();
     let mut truncated = false;
     'enumeration: for inputs in 0..(1u64 << n) {
-        for pattern in &patterns {
+        for pattern in patterns {
             // Admission before execution: runs past the ceiling are
             // never built, and deadline/cancellation are polled here.
             match budget.admit_run(Phase::Enumerate) {
@@ -176,10 +252,247 @@ pub fn agreement_system_budgeted(
     Ok(system)
 }
 
-/// Deterministically executes one crash pattern.
-#[allow(clippy::needless_range_loop)] // index used for identity & seen[]
-fn execute(n: usize, rounds: usize, horizon: u64, inputs: u64, pattern: &[Crash]) -> hm_runs::Run {
-    let name = if pattern.is_empty() {
+/// All permutations of `0..n` in lexicographic order (identity first).
+fn permutations(n: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut perm: Vec<usize> = (0..n).collect();
+    loop {
+        out.push(perm.clone());
+        // Next permutation in lexicographic order.
+        let Some(i) = (0..n - 1).rev().find(|&i| perm[i] < perm[i + 1]) else {
+            return out;
+        };
+        let j = (i + 1..n).rev().find(|&j| perm[j] > perm[i]).unwrap();
+        perm.swap(i, j);
+        perm[i + 1..].reverse();
+    }
+}
+
+/// Applies the process renaming `perm` to a crash pattern and restores
+/// the normal form: recipients ascending, crashes sorted.
+pub fn rename_pattern(pattern: &[Crash], perm: &[usize]) -> CrashPattern {
+    let mut out: CrashPattern = pattern
+        .iter()
+        .map(|c| {
+            let mut recipients: Vec<usize> = c.recipients.iter().map(|&j| perm[j]).collect();
+            recipients.sort_unstable();
+            Crash {
+                crasher: perm[c.crasher],
+                round: c.round,
+                recipients,
+            }
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+/// The canonical representative of `pattern`'s orbit under process
+/// renaming: the lexicographically least renaming over all `n!`
+/// permutations. Two patterns deliver the same information up to
+/// process identity iff they canonicalise identically.
+pub fn canonicalize_pattern(pattern: &[Crash], n: usize) -> CrashPattern {
+    permutations(n)
+        .iter()
+        .map(|perm| rename_pattern(pattern, perm))
+        .min()
+        .expect("n! >= 1 permutations")
+}
+
+/// A process renaming carrying `pattern` to its canonical form (the
+/// first one in lexicographic permutation order). Composing it with
+/// the input assignment (`bit i` of the image set at `perm[i]`) maps
+/// any naive run to the reduced run standing for its orbit — the
+/// world-by-world correspondence the differential suite checks.
+pub fn canonicalizing_permutation(pattern: &[Crash], n: usize) -> Vec<usize> {
+    let canon = canonicalize_pattern(pattern, n);
+    permutations(n)
+        .into_iter()
+        .find(|perm| rename_pattern(pattern, perm) == canon)
+        .expect("some permutation achieves the minimum")
+}
+
+/// The symmetry-canonical view of the reduced system: processor `i`'s
+/// complete history, replaced by its lexicographically least relabeling
+/// over the `(n-1)!` process renamings that fix `i`.
+///
+/// Dropping non-canonical crash patterns removes worlds from the frame,
+/// which cuts indistinguishability chains and would make common
+/// knowledge *prematurely* true (empirically: `C{…} min0` flips at
+/// round `f` in clean runs under the plain [`CompleteHistory`] view —
+/// falsifying the paper's lower bound). Coarsening each view to its
+/// stabilizer orbit restores those edges: a step from a kept run into a
+/// dropped run is re-targeted at the dropped run's kept orbit-mate,
+/// because the two differ only by a renaming invisible to `i`. The
+/// coarsening is still an equivalence per agent (orbit equality under a
+/// subgroup) and still a function of the history alone, so it is an
+/// admissible [`hm_runs::ViewFunction`]; on the *full* system it provably
+/// preserves verdicts of process-symmetric formulas, and on the reduced
+/// system the equivalence is pinned empirically, world-by-world, by
+/// `crates/engine/tests/symmetry.rs`.
+pub struct SymmetricHistory {
+    /// All `n!` renamings, each with its precomputed payload-relabel
+    /// table (`seen | vals << n` is `2n` processor-indexed bits, so the
+    /// table has `2^(2n)` entries).
+    perms: Vec<RelabelPerm>,
+    /// `stabs[i]` = indices into `perms` of the renamings fixing `i`,
+    /// identity first.
+    stabs: Vec<Vec<usize>>,
+    /// Reused encode buffers — the interpreted-system builder calls the
+    /// view sequentially, one point at a time.
+    scratch: std::cell::RefCell<SymScratch>,
+}
+
+struct RelabelPerm {
+    map: Vec<usize>,
+    payload: Vec<u64>,
+}
+
+#[derive(Default)]
+struct SymScratch {
+    /// One tick's event encodings: `(words, len)` — at most 5 words per
+    /// event (discriminant, counterparty, tag, payload, clock stamp).
+    tick: Vec<([u64; 5], usize)>,
+    cand: Vec<u64>,
+    best: Vec<u64>,
+}
+
+impl SymmetricHistory {
+    /// Creates the canonical view for an `n`-processor agreement system.
+    pub fn new(n: usize) -> Self {
+        let mask = (1u64 << n) - 1;
+        let perms: Vec<RelabelPerm> = permutations(n)
+            .into_iter()
+            .map(|map| {
+                let payload = (0..1u64 << (2 * n))
+                    .map(|data| {
+                        let (seen, vals) = (data & mask, data >> n);
+                        let mut out = 0u64;
+                        for (j, &pj) in map.iter().enumerate() {
+                            out |= ((seen >> j) & 1) << pj;
+                            out |= ((vals >> j) & 1) << (pj + n);
+                        }
+                        out
+                    })
+                    .collect();
+                RelabelPerm { map, payload }
+            })
+            .collect();
+        let stabs = (0..n)
+            .map(|i| (0..perms.len()).filter(|&k| perms[k].map[i] == i).collect())
+            .collect();
+        SymmetricHistory {
+            perms,
+            stabs,
+            scratch: std::cell::RefCell::default(),
+        }
+    }
+}
+
+impl hm_runs::ViewFunction for SymmetricHistory {
+    fn encode_view(&self, run: &hm_runs::Run, i: AgentId, t: u64, out: &mut Vec<u64>) {
+        use std::cmp::Ordering;
+        let p = run.proc(i);
+        let Some(wake) = p.wake_time.filter(|&w| t >= w) else {
+            return; // asleep: the empty history, as for CompleteHistory
+        };
+        out.push(1); // awake marker
+        out.push(p.initial_state);
+        // Clock value set — renaming-invariant, encoded exactly as in
+        // `encode_complete_history`.
+        match &p.clock {
+            Some(c) => {
+                let count_at = out.len();
+                out.push(0);
+                let mut last = None;
+                for &v in &c[wake as usize..=t as usize] {
+                    if last != Some(v) {
+                        out.push(v);
+                        last = Some(v);
+                    }
+                }
+                out[count_at] = (out.len() - count_at - 1) as u64;
+            }
+            None => out.push(0),
+        }
+        let prefix = p.events.partition_point(|e| e.time < t);
+        out.push(prefix as u64);
+        if prefix == 0 {
+            return;
+        }
+        // Lexicographically least relabeling over the stabilizer of `i`.
+        // All candidates have the same length (renaming never changes an
+        // event's encoding length), so prefix comparison decides; a
+        // candidate is abandoned at the first tick that compares greater
+        // than the incumbent.
+        let mut s = self.scratch.borrow_mut();
+        let SymScratch { tick, cand, best } = &mut *s;
+        for (k, &pk) in self.stabs[i.index()].iter().enumerate() {
+            let perm = &self.perms[pk];
+            cand.clear();
+            let mut decided = Ordering::Equal;
+            let mut start = 0;
+            while start < prefix {
+                let time = p.events[start].time;
+                let end = start + p.events[start..prefix].partition_point(|e| e.time == time);
+                let stamp = p.clock_at(time).map_or(u64::MAX, |c| c);
+                tick.clear();
+                for e in &p.events[start..end] {
+                    let enc = match e.event {
+                        Event::Send { to, msg } => (
+                            [
+                                0,
+                                perm.map[to.index()] as u64,
+                                u64::from(msg.tag),
+                                perm.payload[msg.data as usize],
+                                stamp,
+                            ],
+                            5,
+                        ),
+                        Event::Recv { from, msg } => (
+                            [
+                                1,
+                                perm.map[from.index()] as u64,
+                                u64::from(msg.tag),
+                                perm.payload[msg.data as usize],
+                                stamp,
+                            ],
+                            5,
+                        ),
+                        Event::Act { action, data } => ([2, u64::from(action), data, stamp, 0], 4),
+                    };
+                    tick.push(enc);
+                }
+                tick.sort_unstable();
+                let flushed = cand.len();
+                for (words, len) in tick.iter() {
+                    cand.extend_from_slice(&words[..*len]);
+                }
+                if k > 0 && decided == Ordering::Equal {
+                    decided = cand[flushed..].cmp(&best[flushed..cand.len()]);
+                    if decided == Ordering::Greater {
+                        break; // a greater prefix cannot become the minimum
+                    }
+                }
+                start = end;
+            }
+            if k == 0 || decided == Ordering::Less {
+                std::mem::swap(best, cand);
+            }
+        }
+        out.extend_from_slice(best);
+    }
+
+    fn name(&self) -> &'static str {
+        "symmetric-history"
+    }
+}
+
+/// The run name of one `(inputs, pattern)` cell — `v{bits}-clean` or
+/// `v{bits}-c{crasher}r{round}s{recipients}+…`, the naming scheme the
+/// E18 driver output and the seed-stability tests pin.
+pub fn pattern_run_name(n: usize, inputs: u64, pattern: &[Crash]) -> String {
+    if pattern.is_empty() {
         format!("v{inputs:0width$b}-clean", width = n)
     } else {
         let segments = pattern
@@ -198,7 +511,90 @@ fn execute(n: usize, rounds: usize, horizon: u64, inputs: u64, pattern: &[Crash]
             .collect::<Vec<_>>()
             .join("+");
         format!("v{inputs:0width$b}-{segments}", width = n)
+    }
+}
+
+/// The orbit representatives of the crash-pattern space of `spec` under
+/// process renaming, paired with their orbit sizes (multiplicities), in
+/// naive enumeration order of the representatives — failure-free first.
+/// The multiplicities sum to [`crash_patterns`]`.len()`.
+///
+/// # Panics
+///
+/// Panics on an out-of-range `spec` (see [`agreement_system`]).
+pub fn canonical_patterns(spec: AgreementSpec) -> Vec<(CrashPattern, usize)> {
+    canonical_patterns_budgeted(spec, &Budget::unlimited())
+        .expect("unlimited budget cannot be exceeded")
+}
+
+/// The symmetry-reduced counterpart of [`agreement_system`]: executes
+/// every binary input assignment against only the canonical crash
+/// patterns ([`canonical_patterns`]). The reduced system is an induced
+/// subsystem of the naive one (run names included), smaller by roughly
+/// the renaming-orbit factor, and answers process-symmetric epistemic
+/// queries identically at the surviving points — the contract pinned by
+/// the differential suite in `crates/engine/tests/symmetry.rs`. This is
+/// what makes `f = 3` buildable interactively.
+///
+/// # Panics
+///
+/// As for [`agreement_system`] on an out-of-range `spec`.
+pub fn agreement_system_reduced(spec: AgreementSpec) -> System {
+    agreement_system_reduced_budgeted(spec, &Budget::unlimited())
+        .expect("unlimited budget cannot be exceeded")
+}
+
+/// [`agreement_system_reduced`] under a resource [`Budget`] — strict
+/// and partial semantics as for [`agreement_system_budgeted`]. Pattern
+/// canonicalisation itself is budget-polled per naive pattern, so
+/// deadlines and cancellation interrupt even the pre-execution phase.
+///
+/// # Errors
+///
+/// As for [`agreement_system_budgeted`].
+pub fn agreement_system_reduced_budgeted(
+    spec: AgreementSpec,
+    budget: &Budget,
+) -> Result<System, LimitExceeded> {
+    failpoints::check("core::canonicalize", Phase::Enumerate)?;
+    let patterns: Vec<CrashPattern> = {
+        let reps = canonical_patterns_budgeted(spec, budget)?;
+        reps.into_iter().map(|(p, _)| p).collect()
     };
+    system_over_patterns(spec, &patterns, budget)
+}
+
+/// [`canonical_patterns`] with a budget poll per naive pattern.
+fn canonical_patterns_budgeted(
+    spec: AgreementSpec,
+    budget: &Budget,
+) -> Result<Vec<(CrashPattern, usize)>, LimitExceeded> {
+    let perms = permutations(spec.n);
+    let mut out: Vec<(CrashPattern, usize)> = Vec::new();
+    'patterns: for pattern in crash_patterns(spec) {
+        budget.tick(Phase::Enumerate)?;
+        // Keep the pattern iff it is its own canonical form (no
+        // renaming is lexicographically smaller); its orbit size is the
+        // number of distinct renamings.
+        let mut orbit: Vec<CrashPattern> = Vec::new();
+        for perm in &perms[1..] {
+            let renamed = rename_pattern(&pattern, perm);
+            if renamed < pattern {
+                continue 'patterns;
+            }
+            if renamed != pattern && !orbit.contains(&renamed) {
+                orbit.push(renamed);
+            }
+        }
+        out.push((pattern, orbit.len() + 1));
+    }
+    Ok(out)
+}
+
+/// Deterministically executes one crash pattern.
+#[allow(clippy::needless_range_loop)] // index used for identity & seen[]
+fn execute(n: usize, rounds: usize, horizon: u64, inputs: u64, pattern: &[Crash]) -> hm_runs::Run {
+    let name = pattern_run_name(n, inputs, pattern);
     // seen[i] = bitmask of processors whose initial value i has seen.
     let mut seen: Vec<u64> = (0..n).map(|i| 1 << i).collect();
     let mut b = RunBuilder::new(name, n, horizon);
@@ -362,8 +758,44 @@ pub fn agreement_builder_budgeted(
     ))
 }
 
+/// [`agreement_builder_budgeted`] over the symmetry-reduced enumeration
+/// ([`agreement_system_reduced_budgeted`]) — the facts are identical,
+/// the run set shrinks to canonical crash patterns, and the view
+/// coarsens to [`SymmetricHistory`] (which is what keeps the epistemic
+/// verdicts aligned with the naive build — see its docs).
+///
+/// # Errors
+///
+/// As for [`agreement_system_budgeted`].
+pub fn agreement_builder_reduced_budgeted(
+    spec: AgreementSpec,
+    budget: &Budget,
+) -> Result<hm_runs::InterpretedSystemBuilder, LimitExceeded> {
+    Ok(builder_with_facts_view(
+        agreement_system_reduced_budgeted(spec, budget)?,
+        spec.n,
+        SymmetricHistory::new(spec.n),
+    ))
+}
+
+/// Interprets the symmetry-reduced agreement system — the reduced
+/// counterpart of [`agreement_interpreted`].
+pub fn agreement_interpreted_reduced(spec: AgreementSpec) -> InterpretedSystem {
+    agreement_builder_reduced_budgeted(spec, &Budget::unlimited())
+        .expect("unlimited budget cannot be exceeded")
+        .build()
+}
+
 fn builder_with_facts(system: System, n: usize) -> hm_runs::InterpretedSystemBuilder {
-    InterpretedSystem::builder(system, CompleteHistory)
+    builder_with_facts_view(system, n, CompleteHistory)
+}
+
+fn builder_with_facts_view(
+    system: System,
+    n: usize,
+    view: impl hm_runs::ViewFunction + 'static,
+) -> hm_runs::InterpretedSystemBuilder {
+    InterpretedSystem::builder(system, view)
         .fact("min0", move |run, _t| {
             (0..n).any(|i| run.proc(AgentId::new(i)).initial_state == 0)
         })
@@ -505,6 +937,69 @@ mod tests {
         // value arrives exactly there — one round later than f = 1.
         let onset = ck_onset_in_clean_run(&isys, 0b110).unwrap();
         assert_eq!(onset, Some(4), "CK at the end of round f+1 = 3");
+    }
+
+    #[test]
+    fn ck_onset_is_preserved_by_the_reduced_build() {
+        // The reduced frame must reproduce the paper's onset KATs
+        // exactly: CK of the decision value at the end of round f+1,
+        // not before, in the clean run.
+        let isys = agreement_interpreted_reduced(SPEC);
+        assert_eq!(ck_onset_in_clean_run(&isys, 0b110).unwrap(), Some(3));
+        let isys = agreement_interpreted_reduced(AgreementSpec { n: 3, f: 2 });
+        assert_eq!(ck_onset_in_clean_run(&isys, 0b110).unwrap(), Some(4));
+    }
+
+    #[test]
+    fn reduced_orbits_partition_the_pattern_space() {
+        // Orbit counts and multiplicity totals, pinned. The totals are
+        // the naive pattern counts (25, 469, 65), so multiplicity-
+        // weighted counting over the reduced system recovers naive
+        // counts exactly.
+        for (n, f, orbits, patterns) in [(3, 1, 7, 25), (3, 2, 88, 469), (4, 1, 9, 65)] {
+            let reps = canonical_patterns(AgreementSpec { n, f });
+            assert_eq!(reps.len(), orbits, "orbit count (n={n}, f={f})");
+            let total: usize = reps.iter().map(|(_, m)| m).sum();
+            assert_eq!(total, patterns, "pattern count (n={n}, f={f})");
+        }
+    }
+
+    #[test]
+    fn safety_holds_on_reduced_systems() {
+        for (n, f) in [(3, 1), (3, 2), (4, 1)] {
+            let system = agreement_system_reduced(AgreementSpec { n, f });
+            let report = check_safety(&system);
+            assert_eq!(report.agreement_violations, 0, "agreement (n={n}, f={f})");
+            assert_eq!(report.validity_violations, 0, "validity (n={n}, f={f})");
+        }
+    }
+
+    /// The f=3 headline KAT: 137,345 crash patterns collapse to 6,081
+    /// orbits; the reduced system still decides safely and CK of the
+    /// decision value arrives exactly at the end of round f+1 = 4
+    /// (t = 5). Heavy in debug builds; ci.sh runs it in release mode.
+    #[test]
+    #[ignore = "heavy: run with --release via ci.sh"]
+    fn f3_reduced_safety_and_ck_onset() {
+        let spec = AgreementSpec { n: 4, f: 3 };
+        let reps = canonical_patterns(spec);
+        assert_eq!(reps.len(), 6081, "orbit count");
+        assert_eq!(
+            reps.iter().map(|(_, m)| m).sum::<usize>(),
+            137_345,
+            "naive pattern count covered"
+        );
+        let system = agreement_system_reduced(spec);
+        assert_eq!(system.num_runs(), 6081 * 16, "16 input vectors per orbit");
+        let report = check_safety(&system);
+        assert_eq!(report.agreement_violations, 0, "agreement");
+        assert_eq!(report.validity_violations, 0, "validity");
+        let isys = agreement_interpreted_reduced(spec);
+        assert_eq!(
+            ck_onset_in_clean_run(&isys, 0b0110).unwrap(),
+            Some(5),
+            "CK exactly at the end of round f+1 = 4"
+        );
     }
 
     #[test]

@@ -1,0 +1,133 @@
+//! Property tests for crash-pattern canonicalisation — the algebra the
+//! symmetry-reduced agreement enumeration rests on.
+//!
+//! Three contracts over the implemented (n, f) envelope:
+//!
+//! 1. **Idempotence.** `canonicalize(canonicalize(p)) == canonicalize(p)`
+//!    — representatives are fixed points.
+//! 2. **Renaming invariance.** `canonicalize(rename(p, pi)) ==
+//!    canonicalize(p)` for random permutations `pi` — the orbit map is
+//!    constant on orbits, so no two renamings of one pattern can land on
+//!    different representatives.
+//! 3. **Partition.** Orbit multiplicities sum to the naive pattern
+//!    count, and every representative is canonical and distinct — the
+//!    orbits partition the naive enumeration exactly (this is what makes
+//!    multiplicity-weighted counts over the reduced system equal naive
+//!    counts).
+//!
+//! Patterns are drawn from the *actual* naive enumeration
+//! (`crash_patterns`), not a synthetic generator, so the properties are
+//! checked against exactly the population the reduced build collapses.
+
+use hm_core::agreement::{
+    canonical_patterns, canonicalize_pattern, canonicalizing_permutation, crash_patterns,
+    rename_pattern, AgreementSpec, CrashPattern,
+};
+use proptest::prelude::*;
+
+/// The (n, f) pairs whose naive enumeration is cheap enough to sample
+/// per test case.
+const SPECS: [AgreementSpec; 4] = [
+    AgreementSpec { n: 3, f: 1 },
+    AgreementSpec { n: 3, f: 2 },
+    AgreementSpec { n: 4, f: 1 },
+    AgreementSpec { n: 4, f: 2 },
+];
+
+/// A deterministic permutation of `0..n` derived from a seed
+/// (Fisher–Yates over a SplitMix64 stream).
+fn permutation_from_seed(n: usize, seed: u64) -> Vec<usize> {
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    let mut perm: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        perm.swap(i, j);
+    }
+    perm
+}
+
+fn sample(spec_idx: usize, pattern_idx: u64) -> (AgreementSpec, CrashPattern) {
+    let spec = SPECS[spec_idx % SPECS.len()];
+    let patterns = crash_patterns(spec);
+    let p = patterns[(pattern_idx % patterns.len() as u64) as usize].clone();
+    (spec, p)
+}
+
+proptest! {
+    #[test]
+    fn canonicalize_is_idempotent(spec_idx in 0usize..4, pattern_idx in 0u64..u64::MAX) {
+        let (spec, p) = sample(spec_idx, pattern_idx);
+        let once = canonicalize_pattern(&p, spec.n);
+        let twice = canonicalize_pattern(&once, spec.n);
+        prop_assert_eq!(&once, &twice);
+        // And the canonicalizing permutation of a representative is a
+        // renaming that maps it to itself.
+        let perm = canonicalizing_permutation(&once, spec.n);
+        prop_assert_eq!(&rename_pattern(&once, &perm), &once);
+    }
+
+    #[test]
+    fn canonical_form_is_invariant_under_renaming(
+        spec_idx in 0usize..4,
+        pattern_idx in 0u64..u64::MAX,
+        seed in 0u64..u64::MAX,
+    ) {
+        let (spec, p) = sample(spec_idx, pattern_idx);
+        let pi = permutation_from_seed(spec.n, seed);
+        let renamed = rename_pattern(&p, &pi);
+        prop_assert_eq!(
+            canonicalize_pattern(&renamed, spec.n),
+            canonicalize_pattern(&p, spec.n)
+        );
+        // The witness permutation really maps the pattern onto its
+        // representative.
+        let w = canonicalizing_permutation(&renamed, spec.n);
+        prop_assert_eq!(
+            rename_pattern(&renamed, &w),
+            canonicalize_pattern(&p, spec.n)
+        );
+    }
+}
+
+/// Exhaustive (not sampled): the orbits partition the naive pattern
+/// enumeration for every spec in the envelope's cheap range.
+#[test]
+fn orbit_multiplicities_sum_to_naive_pattern_count() {
+    for spec in SPECS {
+        let naive = crash_patterns(spec);
+        let orbits = canonical_patterns(spec);
+        let total: usize = orbits.iter().map(|(_, m)| m).sum();
+        assert_eq!(
+            total,
+            naive.len(),
+            "orbit multiplicities must cover the naive enumeration \
+             exactly (n={}, f={})",
+            spec.n,
+            spec.f
+        );
+        // Representatives are canonical, pairwise distinct, and drawn
+        // from the naive enumeration.
+        let mut seen = std::collections::HashSet::new();
+        for (rep, m) in &orbits {
+            assert!(*m >= 1);
+            assert_eq!(
+                &canonicalize_pattern(rep, spec.n),
+                rep,
+                "rep is a fixed point"
+            );
+            assert!(seen.insert(rep.clone()), "reps are distinct");
+            assert!(naive.contains(rep), "rep comes from the enumeration");
+        }
+        // Every naive pattern's representative is one of the orbits.
+        for p in &naive {
+            assert!(seen.contains(&canonicalize_pattern(p, spec.n)));
+        }
+    }
+}

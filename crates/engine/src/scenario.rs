@@ -35,7 +35,9 @@
 
 use crate::spec::{nearest_name, ParamDescriptor, ParamValues, ScenarioSpec, SpecError};
 use crate::EngineError;
-use hm_core::agreement::{agreement_builder_budgeted, AgreementSpec};
+use hm_core::agreement::{
+    agreement_builder_budgeted, agreement_builder_reduced_budgeted, AgreementSpec,
+};
 use hm_core::attain::uncertain_start_builder;
 use hm_core::discovery::deadlock_builder;
 use hm_core::frames::{consistency_builder, two_send_views_builder, ViewKind};
@@ -678,7 +680,9 @@ impl Scenario for Skewed {
 }
 
 /// Section 11 footnote 5 (after [DM90]): simultaneous agreement under
-/// at most `f` crash failures, full crash-pattern enumeration.
+/// at most `f` crash failures — either the full crash-pattern
+/// enumeration or the symmetry-reduced one (canonical patterns +
+/// symmetric views), selected by `mode`.
 struct Agreement;
 
 impl Scenario for Agreement {
@@ -692,13 +696,26 @@ impl Scenario for Agreement {
 
     fn params(&self) -> Vec<ParamDescriptor> {
         vec![
-            ParamDescriptor::int("n", 3, 3, 4, "number of processors"),
+            ParamDescriptor::int(
+                "n",
+                3,
+                3,
+                5,
+                "number of processors (n=5 needs the reduced mode)",
+            ),
             ParamDescriptor::int(
                 "f",
                 1,
                 1,
-                2,
-                "maximum crashes (n=4,f=2 enumerates ~57k runs — expect seconds)",
+                3,
+                "maximum crashes (f=3 is tractable only under the reduced enumeration)",
+            ),
+            ParamDescriptor::choice(
+                "mode",
+                "auto",
+                &["auto", "naive", "reduced"],
+                "naive = all crash patterns; reduced = canonical patterns + symmetric \
+                 views; auto = naive where it fits (f<=2, n<=4)",
             ),
         ]
     }
@@ -718,13 +735,38 @@ impl Scenario for Agreement {
     }
 
     fn build(&self, params: &ScenarioParams) -> Result<ScenarioFrame, EngineError> {
-        Ok(ScenarioFrame::Interpreted(agreement_builder_budgeted(
-            AgreementSpec {
-                n: params.values.size("n"),
-                f: params.values.size("f"),
-            },
-            &params.budget,
-        )?))
+        let spec = AgreementSpec {
+            n: params.values.size("n"),
+            f: params.values.size("f"),
+        };
+        if spec.f >= spec.n {
+            return Err(EngineError::Spec(SpecError::Constraint {
+                scenario: self.name(),
+                what: format!(
+                    "f = {} must stay below n = {} (some processor survives)",
+                    spec.f, spec.n
+                ),
+            }));
+        }
+        if spec.n == 5 && spec.f == 3 {
+            return Err(EngineError::Spec(SpecError::Constraint {
+                scenario: self.name(),
+                what: "n=5,f=3 exceeds the implemented envelope (even the reduced orbit \
+                       set runs to millions of worlds)"
+                    .into(),
+            }));
+        }
+        let reduced = match params.values.choice("mode") {
+            "naive" => false,
+            "reduced" => true,
+            "auto" => spec.f >= 3 || spec.n >= 5,
+            other => unreachable!("descriptor admits only declared modes, got {other}"),
+        };
+        Ok(ScenarioFrame::Interpreted(if reduced {
+            agreement_builder_reduced_budgeted(spec, &params.budget)?
+        } else {
+            agreement_builder_budgeted(spec, &params.budget)?
+        }))
     }
 }
 
@@ -958,9 +1000,39 @@ mod tests {
         }
         // Range check.
         assert!(matches!(
-            reg.resolve("agreement:f=3").err().unwrap(),
+            reg.resolve("agreement:f=4").err().unwrap(),
             SpecError::OutOfRange { .. }
         ));
+        // f=3 is in range since the reduced enumeration landed.
+        let (_, v) = reg.resolve("agreement:n=4,f=3").unwrap();
+        assert_eq!(v.size("f"), 3);
+        assert_eq!(v.choice("mode"), "auto");
+    }
+
+    #[test]
+    fn agreement_mode_and_envelope_constraints() {
+        let reg = ScenarioRegistry::builtin();
+        let build = |spec: &str| {
+            let (s, values) = reg.resolve(spec).unwrap();
+            let params = ScenarioParams {
+                values,
+                ..ScenarioParams::default()
+            };
+            s.build(&params)
+        };
+        // f must stay below n even though both pass their ranges alone.
+        assert!(matches!(
+            build("agreement:n=3,f=3").err().unwrap(),
+            EngineError::Spec(SpecError::Constraint { .. })
+        ));
+        // n=5,f=3 is outside the implemented envelope in every mode.
+        assert!(matches!(
+            build("agreement:n=5,f=3,mode=reduced").err().unwrap(),
+            EngineError::Spec(SpecError::Constraint { .. })
+        ));
+        // Explicit modes build the same surface for a small instance.
+        assert!(build("agreement:n=3,f=1,mode=naive").is_ok());
+        assert!(build("agreement:n=3,f=1,mode=reduced").is_ok());
     }
 
     #[test]

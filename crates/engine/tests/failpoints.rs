@@ -109,3 +109,35 @@ fn cancellation_during_evaluation_is_typed() {
     assert_eq!(e.resource, Resource::Cancelled);
     assert_eq!(e.phase, Phase::Eval);
 }
+
+#[test]
+fn exhaustion_at_canonicalisation_is_typed() {
+    // The symmetry-reduced build adds a pre-execution phase (crash-
+    // pattern canonicalisation); its failpoint site must surface typed
+    // errors like every other governed boundary.
+    let sc = FailScenario::setup();
+    sc.configure("core::canonicalize", Action::Exhaust(ExhaustKind::Deadline));
+    let err = Engine::for_scenario("agreement:n=3,f=1,mode=reduced")
+        .build()
+        .unwrap_err();
+    let e = err.limit().expect("typed limit");
+    assert_eq!(e.resource, Resource::Deadline);
+    assert_eq!(e.phase, Phase::Enumerate);
+}
+
+#[test]
+fn cancellation_at_canonicalisation_is_typed() {
+    let sc = FailScenario::setup();
+    sc.configure("core::canonicalize", Action::Cancel);
+    let err = Engine::for_scenario("agreement:n=3,f=1,mode=reduced")
+        .build()
+        .unwrap_err();
+    let e = err.limit().expect("typed limit");
+    assert_eq!(e.resource, Resource::Cancelled);
+    assert_eq!(e.phase, Phase::Enumerate);
+    // The naive mode never reaches the site: same scenario family,
+    // mode=naive, builds clean under the armed failpoint.
+    assert!(Engine::for_scenario("agreement:n=3,f=1,mode=naive")
+        .build()
+        .is_ok());
+}

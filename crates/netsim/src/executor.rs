@@ -253,6 +253,112 @@ impl Sim {
     }
 }
 
+/// Counters reported by a symmetry-/prefix-deduplicated enumeration
+/// (see [`enumerate_runs_deduped_budgeted`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrefixStats {
+    /// Distinct canonical branch states interned.
+    pub distinct: usize,
+    /// Branches pruned because their canonical state was already
+    /// explored.
+    pub pruned: u64,
+}
+
+/// A set of canonical simulation prefixes, used by the deduplicating
+/// enumerator to prune DFS branches whose future is already covered.
+///
+/// Two branch states get the same canonical key when they agree on the
+/// resume coordinates, the send counter, every logged event with
+/// `time < cutoff`, and the in-flight messages due before `cutoff` (in
+/// send order). The adversary's *choice labels* are deliberately
+/// excluded — they name runs but carry no information any processor can
+/// ever observe — and so is everything at or after `cutoff`: with
+/// `cutoff ≥ horizon`, events at `time ≥ cutoff` are invisible to every
+/// view in the system (a view at `t` contains events strictly before
+/// `t ≤ horizon`), so branches differing only there are
+/// epistemically identical. Pass `cutoff = horizon + 1` for fully
+/// lossless content dedup (only label-variant duplicates collapse), or
+/// `cutoff = horizon` to also collapse final-tick delivery variations
+/// that no view can see.
+///
+/// Keys are hash-consed through a [`ViewInterner`](hm_runs::ViewInterner)
+/// — the interner *is* the set (a key is fresh iff interning it grew the
+/// table).
+#[derive(Debug)]
+pub struct CanonicalPrefixSet {
+    cutoff: u64,
+    interner: hm_runs::ViewInterner,
+    key: Vec<u64>,
+    stats: PrefixStats,
+    /// Scratch for sorting pending messages by send order.
+    order: Vec<usize>,
+}
+
+impl CanonicalPrefixSet {
+    /// Creates an empty set with the given event-visibility `cutoff`.
+    pub fn new(cutoff: u64) -> Self {
+        CanonicalPrefixSet {
+            cutoff,
+            interner: hm_runs::ViewInterner::new(),
+            key: Vec::new(),
+            stats: PrefixStats::default(),
+            order: Vec::new(),
+        }
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> PrefixStats {
+        self.stats
+    }
+
+    /// Interns the canonical key of `sim` about to resume at
+    /// `(t, proc, cmd)`; returns `true` iff the state is fresh (not seen
+    /// before). Updates the counters accordingly.
+    fn observe(&mut self, sim: &Sim, t: u64, proc: usize, cmd: usize) -> bool {
+        let key = &mut self.key;
+        key.clear();
+        key.extend([t, proc as u64, cmd as u64, sim.send_count as u64]);
+        for events in &sim.events {
+            let count_at = key.len();
+            key.push(0);
+            let mut kept = 0u64;
+            for e in events.iter().take_while(|e| e.time < self.cutoff) {
+                key.push(e.time);
+                e.event.encode(key);
+                kept += 1;
+            }
+            key[count_at] = kept;
+        }
+        // In-flight messages due before the cutoff, in send order (their
+        // relative order is what fixes same-tick delivery order
+        // downstream; absolute sequence numbers are determined by the
+        // logged send events already in the key).
+        self.order.clear();
+        self.order.extend(0..sim.pending.len());
+        self.order.sort_unstable_by_key(|&k| sim.pending[k].4);
+        let count_at = key.len();
+        key.push(0);
+        let mut kept = 0u64;
+        for &k in &self.order {
+            let (dtime, to, from, msg, _) = sim.pending[k];
+            if dtime < self.cutoff {
+                key.extend([dtime, to as u64, from as u64, u64::from(msg.tag), msg.data]);
+                kept += 1;
+            }
+        }
+        key[count_at] = kept;
+        let before = self.interner.len();
+        let _ = self.interner.intern(key);
+        let fresh = self.interner.len() > before;
+        if fresh {
+            self.stats.distinct = self.interner.len();
+        } else {
+            self.stats.pruned += 1;
+        }
+        fresh
+    }
+}
+
 /// The coordinates of one sent message: when, who, to whom, what, and its
 /// global sequence number.
 #[derive(Debug, Clone, Copy)]
@@ -280,6 +386,10 @@ struct Enumerator<'a> {
     seen: Vec<SeenEvent>,
     /// Reused buffer for each tick's due deliveries.
     due: Vec<(u64, usize, usize, hm_runs::Message, usize)>,
+    /// Branch-state dedup (sequential deduped mode only; the parallel
+    /// driver never sets it — pruning depends on exploration order, which
+    /// scheduling would make nondeterministic).
+    dedup: Option<CanonicalPrefixSet>,
 }
 
 impl Enumerator<'_> {
@@ -307,6 +417,30 @@ impl Enumerator<'_> {
         } else {
             Interrupt::Err(EnumerateError::Limit(e))
         }
+    }
+
+    /// Consults the prefix-dedup set (when installed) for the branch
+    /// state `sim` about to resume at `(t, proc, cmd)`: `Ok(true)` means
+    /// explore it, `Ok(false)` means an equivalent state was already
+    /// explored and the branch must be pruned. Fresh states are charged
+    /// to the visited-state budget.
+    fn admit_branch(
+        &mut self,
+        sim: &Sim,
+        t: u64,
+        proc: usize,
+        cmd: usize,
+    ) -> Result<bool, Interrupt> {
+        let Some(dedup) = self.dedup.as_mut() else {
+            return Ok(true);
+        };
+        if !dedup.observe(sim, t, proc, cmd) {
+            return Ok(false);
+        }
+        self.budget
+            .charge(Phase::Enumerate, 1)
+            .map_err(|e| self.interrupted(e))?;
+        Ok(true)
     }
 
     fn explore(&mut self, sim: Sim, t0: u64, proc0: usize, cmd0: usize) -> Result<(), Interrupt> {
@@ -427,10 +561,16 @@ impl Enumerator<'_> {
                             for &opt in rest {
                                 let mut child = sim.clone();
                                 child.apply_outcome(opt, &send, spec.horizon);
+                                if !self.admit_branch(&child, t, i, ci + 1)? {
+                                    continue; // canonical state already explored
+                                }
                                 self.explore(child, t, i, ci + 1)?;
                             }
                             // Last option continues on this branch.
                             sim.apply_outcome(last, &send, spec.horizon);
+                            if !self.admit_branch(&sim, t, i, ci + 1)? {
+                                return Ok(Vec::new()); // prune this branch too
+                            }
                         }
                     }
                 }
@@ -557,6 +697,7 @@ pub fn enumerate_runs_budgeted(
         runs: Vec::new(),
         seen: Vec::new(),
         due: Vec::new(),
+        dedup: None,
     };
     let truncated = match enumerator.explore(Sim::new(spec.num_procs), 0, 0, 0) {
         Ok(()) => false,
@@ -567,6 +708,93 @@ pub fn enumerate_runs_budgeted(
     // Canonical order: sort by name for reproducibility.
     runs.sort_by(|a, b| a.name.cmp(&b.name));
     Ok(Enumeration { runs, truncated })
+}
+
+/// [`enumerate_runs_budgeted`] with branch-state deduplication through a
+/// [`CanonicalPrefixSet`]: whenever the DFS reaches an adversary branch
+/// whose canonical state (logged events and in-flight messages below
+/// `cutoff`, labels excluded) was already explored, the branch is pruned
+/// — its subtree can only re-derive run contents the kept subtree
+/// already produces. Typical collapse: loss vs. delivery chosen for a
+/// message that could never be observed before the horizon.
+///
+/// `cutoff` must be at least `spec.horizon`; see [`CanonicalPrefixSet`]
+/// for the `horizon` vs. `horizon + 1` trade-off. Each *fresh* canonical
+/// state is charged against the budget's visited-state ceiling
+/// ([`Limits::max_states_visited`]), so a blow-up of distinct states is
+/// a typed failure, not an OOM. Enumeration is strictly sequential —
+/// pruning depends on exploration order, which parallel scheduling would
+/// make nondeterministic.
+///
+/// Run *names* still record the adversary schedule of the kept branch,
+/// so the deduped run set is a name-subset of the full enumeration's
+/// only when pruning never fires; contents, not names, are the stable
+/// interface.
+///
+/// # Panics
+///
+/// Panics if `cutoff < spec.horizon` (such a cutoff would merge states
+/// that some view can still distinguish).
+///
+/// # Errors
+///
+/// As for [`enumerate_runs_budgeted`], plus
+/// [`EnumerateError::Limit`]`(`[`Resource::StatesVisited`]`)` when the
+/// distinct-state ceiling is hit (a hard error even in partial mode —
+/// unlike run truncation, stopping mid-prune keeps no usable guarantee).
+pub fn enumerate_runs_deduped_budgeted(
+    protocol: &dyn JointProtocol,
+    adversary: &dyn Adversary,
+    spec: &ExecutionSpec,
+    cutoff: u64,
+    budget: &Budget,
+) -> Result<(Enumeration, PrefixStats), EnumerateError> {
+    assert!(
+        cutoff >= spec.horizon,
+        "dedup cutoff {cutoff} below horizon {} would merge observably distinct states",
+        spec.horizon
+    );
+    failpoints::check("netsim::enumerate", Phase::Enumerate)?;
+    let mut enumerator = Enumerator {
+        protocol,
+        adversary,
+        spec,
+        budget,
+        runs: Vec::new(),
+        seen: Vec::new(),
+        due: Vec::new(),
+        dedup: Some(CanonicalPrefixSet::new(cutoff)),
+    };
+    let truncated = match enumerator.explore(Sim::new(spec.num_procs), 0, 0, 0) {
+        Ok(()) => false,
+        Err(Interrupt::Stop) => true,
+        Err(Interrupt::Err(e)) => return Err(e),
+    };
+    let stats = enumerator
+        .dedup
+        .as_ref()
+        .expect("dedup set installed above")
+        .stats();
+    let mut runs = enumerator.runs;
+    runs.sort_by(|a, b| a.name.cmp(&b.name));
+    Ok((Enumeration { runs, truncated }, stats))
+}
+
+/// Convenience wrapper over [`enumerate_runs_deduped_budgeted`] with a
+/// bare run ceiling and `cutoff = horizon` (epistemic dedup).
+///
+/// # Errors
+///
+/// As for [`enumerate_runs_deduped_budgeted`].
+pub fn enumerate_runs_deduped(
+    protocol: &dyn JointProtocol,
+    adversary: &dyn Adversary,
+    spec: &ExecutionSpec,
+    max_runs: usize,
+) -> Result<(Vec<Run>, PrefixStats), EnumerateError> {
+    let budget = Limits::none().max_runs(max_runs as u64).budget();
+    enumerate_runs_deduped_budgeted(protocol, adversary, spec, spec.horizon, &budget)
+        .map(|(e, stats)| (e.runs, stats))
 }
 
 /// A resumable branch of the exploration: the simulation state plus the
@@ -660,6 +888,7 @@ pub fn enumerate_runs_parallel_budgeted(
         runs: Vec::new(),
         seen: Vec::new(),
         due: Vec::new(),
+        dedup: None,
     };
     // Breadth-first split until we have enough independent tasks (or the
     // tree is exhausted). Completed branch-free prefixes land in
@@ -731,6 +960,7 @@ pub fn enumerate_runs_parallel_budgeted(
                         runs: Vec::new(),
                         seen: Vec::new(),
                         due: Vec::new(),
+                        dedup: None,
                     };
                     let mut truncated = false;
                     for task in chunk {
@@ -1154,5 +1384,91 @@ mod tests {
             .find(|e| matches!(e.event, Event::Act { .. }))
             .expect("act");
         assert_eq!(act.time, 1, "recv at 0 enters history at 1");
+    }
+
+    #[test]
+    fn deduped_collapses_final_tick_delivery_with_epistemic_cutoff() {
+        // horizon 1, delay 1: the only delivery lands exactly at the
+        // horizon, where no view can ever see it. Epistemic dedup
+        // (cutoff = horizon) collapses delivery vs. loss to one run.
+        let spec = ExecutionSpec::simple(2, 1);
+        let naive = enumerate_runs(&one_shot(), &LossyFixedDelay { delay: 1 }, &spec, 10).unwrap();
+        assert_eq!(naive.len(), 2);
+        let (runs, stats) =
+            enumerate_runs_deduped(&one_shot(), &LossyFixedDelay { delay: 1 }, &spec, 10).unwrap();
+        assert_eq!(runs.len(), 1);
+        assert_eq!(stats.pruned, 1);
+        assert!(stats.distinct >= 1);
+    }
+
+    #[test]
+    fn deduped_with_lossless_cutoff_matches_naive_exactly() {
+        // cutoff = horizon + 1 keeps every event and every pending
+        // message in the key, so only genuinely identical branch states
+        // collapse — for this adversary, none do.
+        let spec = ExecutionSpec::simple(2, 2);
+        let naive = enumerate_runs(&one_shot(), &LossyFixedDelay { delay: 1 }, &spec, 10).unwrap();
+        let budget = Limits::none().max_runs(10).budget();
+        let (e, stats) = enumerate_runs_deduped_budgeted(
+            &one_shot(),
+            &LossyFixedDelay { delay: 1 },
+            &spec,
+            spec.horizon + 1,
+            &budget,
+        )
+        .unwrap();
+        assert_eq!(stats.pruned, 0);
+        assert_eq!(e.runs.len(), naive.len());
+        for (a, b) in e.runs.iter().zip(naive.iter()) {
+            assert_eq!(a.name, b.name);
+            for i in 0..2 {
+                assert_eq!(
+                    a.proc(AgentId::new(i)).events,
+                    b.proc(AgentId::new(i)).events
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deduped_keeps_observable_distinctions() {
+        // Delivery at t=1 is visible to views from t=2 on: loss vs.
+        // delivery must stay distinct runs even under epistemic cutoff.
+        let spec = ExecutionSpec::simple(2, 2);
+        let (runs, _) =
+            enumerate_runs_deduped(&one_shot(), &LossyFixedDelay { delay: 1 }, &spec, 10).unwrap();
+        assert_eq!(runs.len(), 2);
+    }
+
+    #[test]
+    fn deduped_charges_fresh_states_against_visited_budget() {
+        let spec = ExecutionSpec::simple(2, 2);
+        let budget = Limits::none().max_states_visited(1).budget();
+        let err = enumerate_runs_deduped_budgeted(
+            &one_shot(),
+            &LossyFixedDelay { delay: 1 },
+            &spec,
+            spec.horizon,
+            &budget,
+        )
+        .unwrap_err();
+        match err {
+            EnumerateError::Limit(e) => assert_eq!(e.resource, Resource::StatesVisited),
+            other => panic!("expected a visited-state limit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "below horizon")]
+    fn deduped_rejects_sub_horizon_cutoff() {
+        let spec = ExecutionSpec::simple(2, 2);
+        let budget = Limits::none().budget();
+        let _ = enumerate_runs_deduped_budgeted(
+            &one_shot(),
+            &LossyFixedDelay { delay: 1 },
+            &spec,
+            1,
+            &budget,
+        );
     }
 }

@@ -27,8 +27,9 @@ pub use adversary::{
     SynchronousDelay, UnboundedDelay,
 };
 pub use executor::{
-    enumerate_runs, enumerate_runs_budgeted, enumerate_runs_parallel,
-    enumerate_runs_parallel_budgeted, enumerate_system, enumerate_system_budgeted,
-    enumeration_to_system, Clocks, EnumerateError, Enumeration, ExecutionSpec,
+    enumerate_runs, enumerate_runs_budgeted, enumerate_runs_deduped,
+    enumerate_runs_deduped_budgeted, enumerate_runs_parallel, enumerate_runs_parallel_budgeted,
+    enumerate_system, enumerate_system_budgeted, enumeration_to_system, CanonicalPrefixSet, Clocks,
+    EnumerateError, Enumeration, ExecutionSpec, PrefixStats,
 };
 pub use protocol::{Command, FnProtocol, JointProtocol, LocalView, SeenEvent, Silent};

@@ -169,7 +169,7 @@ fn bad_specs_produce_the_intended_errors() {
     // Messages carry the pieces a user needs.
     let msg = err("agreement:f=9").to_string();
     assert!(
-        msg.contains('f') && msg.contains('9') && msg.contains("1..=2"),
+        msg.contains('f') && msg.contains('9') && msg.contains("1..=3"),
         "{msg}"
     );
 }
