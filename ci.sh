@@ -66,15 +66,26 @@ test $((end - start)) -lt 10
 
 # Fault injection: the failpoint suites force exhaustion, cancellation
 # and worker death at every governed phase boundary — including inside
-# the HTTP worker pool, which must answer 500 and keep serving.
+# the HTTP worker pool, which must answer 500, quarantine a spec that
+# keeps dying, and keep serving. The faultnet suite injects the same
+# hostility at the socket layer: slowloris trickle, truncated bodies,
+# mid-response resets, and readers that stop draining.
 cargo test -q -p hm-engine --features failpoints --test failpoints
 cargo test -q -p hm-netsim --features failpoints --test failpoints
 cargo test -q -p hm-serve --features failpoints --test failpoints
+cargo test -q -p hm-serve --test faultnet
 
 # Serve smoke: the selftest binds port 0 and drives the full request
 # matrix over real TCP (healthz, cache miss/hit, malformed -> 400,
-# limit exhaustion -> 503, 404, a concurrent burst, clean shutdown).
+# limit exhaustion -> 503, 404, a concurrent burst, a drained
+# shutdown). The overload smoke then saturates a 2-worker server with
+# a full queue and proves the burst beyond capacity sheds immediately:
+# 503 + `Retry-After` on every connection, counted in /stats.
 $HM serve --selftest
+start=$(date +%s)
+$HM serve --overload-smoke
+end=$(date +%s)
+test $((end - start)) -lt 60
 # And the CLI server proper: starts, prints its bound address, and
 # shuts down cleanly on stdin EOF.
 out=$(printf '' | $HM serve --addr 127.0.0.1:0 --workers 2)

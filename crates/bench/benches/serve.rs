@@ -6,12 +6,16 @@
 //! `batch` is the `xNq` suffix of the id. Warm benches hit the engine
 //! cache on every query; cold benches carry per-request limits, which
 //! bypass the cache and rebuild the engine per query (the serving
-//! layer's worst case). Run with `HM_CRITERION_OUT=BENCH_pr8.json` to
-//! record the summary.
+//! layer's worst case). The `serve_shed` group measures the overload
+//! floor: 503s per second from a fully saturated server. Run with
+//! `HM_CRITERION_OUT=BENCH_pr10.json` to record the summary.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use hm_serve::{http_call, ServeConfig, Server, ServerHandle};
-use std::net::SocketAddr;
+use hm_serve::{
+    http_call, http_call_headers, read_response, send_request, ServeConfig, Server, ServerHandle,
+};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpStream};
 
 /// Queries each client thread fires per iteration.
 const QUERIES_PER_THREAD: usize = 4;
@@ -73,9 +77,60 @@ fn bench_serve_throughput(c: &mut Criterion) {
     group.finish();
 }
 
+/// Shed rate under saturation: every worker is parked on a live
+/// keep-alive connection and the bounded queue is full, so each
+/// benchmarked request travels the acceptor's reject path — connect,
+/// structured 503 with `Retry-After`, close. This is the overload
+/// floor: how fast the server turns work away when it can do nothing
+/// else.
+fn bench_shed_rate(c: &mut Criterion) {
+    let config = ServeConfig {
+        workers: 2,
+        queue_depth: 2,
+        ..ServeConfig::default()
+    };
+    let server = Server::bind(&config).expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let handle = server.start().expect("start");
+
+    // Park both workers (each proves ownership with one answered
+    // request) and fill both queue slots with idle connections.
+    let parked: Vec<_> = (0..config.workers)
+        .map(|_| {
+            let stream = TcpStream::connect(addr).expect("park");
+            let mut writer = stream.try_clone().expect("clone");
+            send_request(&mut writer, "GET", "/healthz", "", true).expect("send");
+            let mut reader = BufReader::new(stream);
+            let (status, _, _) = read_response(&mut reader).expect("read");
+            assert_eq!(status, 200);
+            (reader, writer)
+        })
+        .collect();
+    let fillers: Vec<TcpStream> = (0..config.queue_depth)
+        .map(|_| TcpStream::connect(addr).expect("filler"))
+        .collect();
+    std::thread::sleep(std::time::Duration::from_millis(150));
+
+    let mut group = c.benchmark_group("serve_shed");
+    group.bench_function("saturated_503/x8q", |b| {
+        b.iter(|| {
+            for _ in 0..8 {
+                let (status, _, body) =
+                    http_call_headers(addr, "GET", "/healthz", "").expect("shed");
+                assert_eq!(status, 503, "{body}");
+            }
+        })
+    });
+    group.finish();
+
+    drop(parked);
+    drop(fillers);
+    handle.shutdown();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_serve_throughput
+    targets = bench_serve_throughput, bench_shed_rate
 }
 criterion_main!(benches);

@@ -105,13 +105,23 @@ exp options:
                  (the deadline re-anchors per build)
 
 serve options:
-  --addr A:P     bind address (default 127.0.0.1:7878; port 0 = ephemeral)
-  --workers N    worker threads answering requests (default 4)
-  --engines N    built engines kept warm in the LRU cache (default 8)
-  --selftest     start an ephemeral server, drive the whole request
-                 contract against it from the outside, and exit
+  --addr A:P         bind address (default 127.0.0.1:7878; port 0 = ephemeral)
+  --workers N        worker threads answering requests (default 4)
+  --engines N        built engines kept warm in the LRU cache (default 8)
+  --queue-depth N    accepted connections allowed to wait for a worker
+                     (default 64); beyond workers + queue, connections
+                     are shed with 503 + Retry-After
+  --drain-timeout S  graceful-shutdown budget in seconds (default 5):
+                     in-flight and queued requests finish, then workers
+                     still busy are abandoned
+  --selftest         start an ephemeral server, drive the whole request
+                     contract against it from the outside, and exit
+  --overload-smoke   deterministically saturate an ephemeral server and
+                     verify the shed path (503 + Retry-After, no hangs),
+                     then exit
 
-  the server answers GET /healthz, GET /stats, and POST /query with a
+  the server answers GET /healthz, GET /stats (optionally
+  /stats?window=60s for per-second history), and POST /query with a
   JSON body {\"spec\",\"formula\",\"horizon\"?,\"minimize\"?,\"limits\"?};
   it stops cleanly when stdin reaches end-of-file (ctrl-d, or the
   supervisor closing the pipe)
@@ -493,6 +503,7 @@ fn serve(args: &[String]) -> i32 {
         ..hm_serve::ServeConfig::default()
     };
     let mut run_selftest = false;
+    let mut run_overload_smoke = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -503,18 +514,30 @@ fn serve(args: &[String]) -> i32 {
                 };
                 config.addr = a.clone();
             }
-            "--workers" | "--engines" => {
+            "--workers" | "--engines" | "--queue-depth" => {
                 let Some(n) = it.next().and_then(|v| v.parse::<usize>().ok()) else {
                     eprintln!("{arg} needs a positive integer argument");
                     return 2;
                 };
-                if arg == "--workers" {
-                    config.workers = n;
-                } else {
-                    config.engine_capacity = n;
+                match arg.as_str() {
+                    "--workers" => config.workers = n,
+                    "--engines" => config.engine_capacity = n,
+                    _ => config.queue_depth = n,
                 }
             }
+            "--drain-timeout" => {
+                let Some(secs) = it.next().and_then(|v| v.parse::<f64>().ok()) else {
+                    eprintln!("--drain-timeout needs a duration in seconds");
+                    return 2;
+                };
+                if !(secs >= 0.0 && secs.is_finite()) {
+                    eprintln!("--drain-timeout needs a non-negative finite duration");
+                    return 2;
+                }
+                config.drain_timeout = std::time::Duration::from_secs_f64(secs);
+            }
             "--selftest" => run_selftest = true,
+            "--overload-smoke" => run_overload_smoke = true,
             other => {
                 eprintln!("unknown option `{other}` (try `hm help`)");
                 return 2;
@@ -530,6 +553,18 @@ fn serve(args: &[String]) -> i32 {
             }
             Err(e) => {
                 eprintln!("selftest failed: {e}");
+                1
+            }
+        };
+    }
+    if run_overload_smoke {
+        return match hm_serve::overload_smoke() {
+            Ok(report) => {
+                print!("{report}");
+                0
+            }
+            Err(e) => {
+                eprintln!("overload smoke failed: {e}");
                 1
             }
         };
@@ -573,7 +608,14 @@ fn serve(args: &[String]) -> i32 {
             Ok(_) => {}
         }
     }
-    handle.shutdown();
-    println!("stopped");
+    let drain = handle.shutdown();
+    if drain.drained {
+        println!("stopped (drained in {:.0?})", drain.waited);
+    } else {
+        println!(
+            "stopped ({} workers still busy after the {:.0?} drain window)",
+            drain.forced_workers, drain.waited
+        );
+    }
     0
 }

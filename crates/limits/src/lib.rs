@@ -277,6 +277,64 @@ impl Limits {
     }
 }
 
+/// A lightweight wall-clock deadline for I/O loops.
+///
+/// [`Budget`] governs *compute* phases; socket code (the `hm-serve`
+/// read/write paths) needs something smaller: an anchored instant to
+/// poll against between short-timeout I/O attempts. `Deadline` is that —
+/// a copyable instant with the three questions such loops ask: has it
+/// passed, how long is left, and how long may the next blocking attempt
+/// take (the remaining time clamped to a poll quantum, never zero, so a
+/// `set_read_timeout`/`set_write_timeout` call built from it is always
+/// valid).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Deadline {
+    at: Instant,
+}
+
+impl Deadline {
+    /// A deadline `d` from now.
+    #[must_use]
+    pub fn after(d: Duration) -> Self {
+        Deadline {
+            at: Instant::now() + d,
+        }
+    }
+
+    /// A deadline at the absolute instant `at`.
+    #[must_use]
+    pub fn at(at: Instant) -> Self {
+        Deadline { at }
+    }
+
+    /// The anchored instant.
+    #[must_use]
+    pub fn instant(&self) -> Instant {
+        self.at
+    }
+
+    /// `true` once the deadline has passed.
+    #[must_use]
+    pub fn expired(&self) -> bool {
+        Instant::now() >= self.at
+    }
+
+    /// Time left, saturating at zero.
+    #[must_use]
+    pub fn remaining(&self) -> Duration {
+        self.at.saturating_duration_since(Instant::now())
+    }
+
+    /// The timeout for one blocking I/O attempt: the remaining time
+    /// clamped to `quantum`, and never below one millisecond (socket
+    /// timeouts of zero mean "block forever", which would defeat the
+    /// deadline).
+    #[must_use]
+    pub fn io_timeout(&self, quantum: Duration) -> Duration {
+        self.remaining().min(quantum).max(Duration::from_millis(1))
+    }
+}
+
 /// Shared, thread-safe part of a [`Budget`]. One per `Limits::budget`
 /// call; every clone of the budget (e.g. per enumeration worker) points
 /// at the same counters, so ceilings are global across threads.
@@ -525,6 +583,28 @@ impl Budget {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn deadline_helpers_answer_the_io_questions() {
+        let d = Deadline::after(Duration::from_secs(60));
+        assert!(!d.expired());
+        assert!(d.remaining() > Duration::from_secs(59));
+        // The I/O timeout is the poll quantum while far from expiry…
+        assert_eq!(
+            d.io_timeout(Duration::from_millis(200)),
+            Duration::from_millis(200)
+        );
+        let past = Deadline::at(Instant::now() - Duration::from_secs(1));
+        assert!(past.expired());
+        assert_eq!(past.remaining(), Duration::ZERO);
+        // …and never zero even when expired: a zero socket timeout
+        // would mean "block forever".
+        assert_eq!(
+            past.io_timeout(Duration::from_millis(200)),
+            Duration::from_millis(1)
+        );
+        assert_eq!(Deadline::at(past.instant()), past);
+    }
 
     #[test]
     fn budget_is_send_and_sync() {

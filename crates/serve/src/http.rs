@@ -7,7 +7,24 @@
 //! the service needs exist: `GET`/`POST`, keep-alive, a body-size cap,
 //! and a read-timeout-driven idle signal so workers can notice shutdown
 //! while parked on an open connection.
+//!
+//! Both directions are deadline-bounded so a hostile or broken peer can
+//! never park a worker forever:
+//!
+//! * **Reads** distinguish *idle* (no byte of a request yet — the
+//!   caller keeps polling and can shut down) from *in progress* (the
+//!   first byte arrived). From that first byte, the entire request —
+//!   line, headers, body — must complete within the caller's request
+//!   timeout; a slowloris client trickling one header byte per poll
+//!   gets [`ReadOutcome::TimedOut`] (mapped to `408`) instead of a
+//!   worker held hostage. Partial lines survive timeout polls: bytes
+//!   already drained from the socket accumulate across attempts.
+//! * **Writes** go out in bounded chunks under a short socket write
+//!   timeout; a stalled reader (a peer that stops draining its receive
+//!   buffer) makes [`write_response`] abort with `TimedOut` once the
+//!   write deadline passes, instead of blocking in `write_all`.
 
+use hm_engine::limits::Deadline;
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
@@ -15,12 +32,24 @@ use std::time::Duration;
 /// Largest accepted request body; longer bodies get `413`.
 pub(crate) const MAX_BODY: usize = 1 << 20;
 
+/// Largest accepted request line or header line; longer is `400`. Keeps
+/// a newline-free byte blast from growing a line buffer without bound
+/// while the request deadline is still running.
+const MAX_LINE: usize = MAX_BODY + 8 * 1024;
+
+/// Upper bound on one socket write attempt, so the write deadline is
+/// consulted at least this often while a response drains slowly.
+const WRITE_CHUNK: usize = 16 * 1024;
+
+/// Poll quantum for deadline-bounded socket writes.
+const WRITE_POLL: Duration = Duration::from_millis(100);
+
 /// One parsed request.
 #[derive(Debug)]
 pub(crate) struct Request {
     /// `GET`, `POST`, … (uppercased by the client).
     pub method: String,
-    /// The request target, e.g. `/query`.
+    /// The request target, e.g. `/query` or `/stats?window=60s`.
     pub path: String,
     /// The body (empty when no `Content-Length` was sent).
     pub body: String,
@@ -41,24 +70,104 @@ pub(crate) enum ReadOutcome {
     Closed,
     /// The declared body exceeds [`MAX_BODY`].
     TooLarge,
+    /// A request started arriving but did not complete within the
+    /// request deadline (slow header or body trickle); answer `408` and
+    /// close.
+    TimedOut,
     /// Unparseable request line or headers; the connection should be
     /// answered with `400` and closed.
     Malformed(String),
 }
 
+/// `true` for the error kinds a socket read/write timeout surfaces as.
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// What one deadline-bounded line read produced.
+enum LineRead {
+    /// A complete line (newline-terminated) is in the buffer.
+    Line,
+    /// EOF before the newline; whatever arrived is in the buffer.
+    Eof,
+    /// The request deadline passed mid-line.
+    TimedOut,
+    /// The line outgrew [`MAX_LINE`] before its newline arrived.
+    TooLong,
+}
+
+/// Reads one `\n`-terminated line into `buf`, checking `deadline`
+/// *per buffered chunk* — not merely per socket timeout. This matters:
+/// a peer trickling bytes at just under the socket poll interval never
+/// produces a timeout error at all, so any implementation that only
+/// consults the deadline on `WouldBlock` hands that peer a worker for
+/// as long as it cares to keep dribbling. Bytes are decoded lossily
+/// (invalid UTF-8 becomes U+FFFD and fails request parsing later).
+fn read_line_by(
+    reader: &mut BufReader<TcpStream>,
+    buf: &mut String,
+    deadline: Deadline,
+) -> io::Result<LineRead> {
+    loop {
+        if deadline.expired() {
+            return Ok(LineRead::TimedOut);
+        }
+        if buf.len() > MAX_LINE {
+            return Ok(LineRead::TooLong);
+        }
+        match reader.fill_buf() {
+            Ok([]) => return Ok(LineRead::Eof),
+            Ok(bytes) => {
+                let newline = bytes.iter().position(|&b| b == b'\n');
+                let take = newline.map_or(bytes.len(), |p| p + 1);
+                buf.push_str(&String::from_utf8_lossy(&bytes[..take]));
+                reader.consume(take);
+                if newline.is_some() {
+                    return Ok(LineRead::Line);
+                }
+            }
+            Err(e) if is_timeout(&e) => {}
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
 /// Reads one request, honouring the stream's read timeout.
-pub(crate) fn read_request(reader: &mut BufReader<TcpStream>) -> ReadOutcome {
+///
+/// Before the first byte, every timeout poll returns
+/// [`ReadOutcome::Idle`] so the caller can check for shutdown. From the
+/// first byte on, the whole request must arrive within
+/// `request_timeout`.
+pub(crate) fn read_request(
+    reader: &mut BufReader<TcpStream>,
+    request_timeout: Duration,
+) -> ReadOutcome {
+    // Wait (idle) for the first byte without consuming it; its arrival
+    // anchors the deadline that governs the rest of the request.
+    let deadline;
+    loop {
+        match reader.fill_buf() {
+            Ok([]) => return ReadOutcome::Closed,
+            Ok(_) => {
+                deadline = Deadline::after(request_timeout);
+                break;
+            }
+            Err(e) if is_timeout(&e) => return ReadOutcome::Idle,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return ReadOutcome::Closed,
+        }
+    }
     let mut line = String::new();
-    match reader.read_line(&mut line) {
-        Ok(0) => return ReadOutcome::Closed,
-        Ok(_) => {}
-        Err(e)
-            if matches!(
-                e.kind(),
-                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-            ) =>
-        {
-            return ReadOutcome::Idle;
+    match read_line_by(reader, &mut line, deadline) {
+        Ok(LineRead::Line) => {}
+        Ok(LineRead::Eof) => return ReadOutcome::Malformed("truncated request line".to_string()),
+        Ok(LineRead::TimedOut) => return ReadOutcome::TimedOut,
+        Ok(LineRead::TooLong) => {
+            return ReadOutcome::Malformed("request line too long".to_string())
         }
         Err(_) => return ReadOutcome::Closed,
     }
@@ -73,9 +182,13 @@ pub(crate) fn read_request(reader: &mut BufReader<TcpStream>) -> ReadOutcome {
     let mut keep_alive = true;
     loop {
         let mut header = String::new();
-        match reader.read_line(&mut header) {
-            Ok(0) => return ReadOutcome::Closed,
-            Ok(_) => {}
+        match read_line_by(reader, &mut header, deadline) {
+            Ok(LineRead::Line) => {}
+            Ok(LineRead::Eof) => return ReadOutcome::Closed,
+            Ok(LineRead::TimedOut) => return ReadOutcome::TimedOut,
+            Ok(LineRead::TooLong) => {
+                return ReadOutcome::Malformed("header line too long".to_string())
+            }
             Err(_) => return ReadOutcome::Malformed("unreadable header".to_string()),
         }
         let header = header.trim_end();
@@ -98,9 +211,24 @@ pub(crate) fn read_request(reader: &mut BufReader<TcpStream>) -> ReadOutcome {
     if content_length > MAX_BODY {
         return ReadOutcome::TooLarge;
     }
+    // Body, deadline-bounded: `read_exact` is unusable under socket
+    // timeouts (how much it read before an error is unspecified), so
+    // fill the buffer by hand.
     let mut body = vec![0u8; content_length];
-    if reader.read_exact(&mut body).is_err() {
-        return ReadOutcome::Malformed("truncated body".to_string());
+    let mut filled = 0usize;
+    while filled < content_length {
+        // Checked per chunk, not per timeout: a body trickling in at
+        // just under the socket poll interval must still hit the wall.
+        if deadline.expired() {
+            return ReadOutcome::TimedOut;
+        }
+        match reader.read(&mut body[filled..]) {
+            Ok(0) => return ReadOutcome::Malformed("truncated body".to_string()),
+            Ok(n) => filled += n,
+            Err(e) if is_timeout(&e) => {}
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return ReadOutcome::Malformed("unreadable body".to_string()),
+        }
     }
     let Ok(body) = String::from_utf8(body) else {
         return ReadOutcome::Malformed("body is not utf-8".to_string());
@@ -120,6 +248,7 @@ pub(crate) fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         413 => "Payload Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
@@ -127,22 +256,63 @@ pub(crate) fn reason(status: u16) -> &'static str {
     }
 }
 
-/// Writes one JSON response with an explicit `Content-Length`.
+/// Writes `buf` in bounded chunks, aborting once `deadline` passes.
+///
+/// The socket write timeout is re-armed per attempt from the deadline's
+/// remaining time, so a stalled reader costs at most one poll quantum
+/// past the deadline — never a worker parked in `write_all` forever.
+fn write_all_by(stream: &mut TcpStream, mut buf: &[u8], deadline: Deadline) -> io::Result<()> {
+    while !buf.is_empty() {
+        stream.set_write_timeout(Some(deadline.io_timeout(WRITE_POLL)))?;
+        let chunk = &buf[..buf.len().min(WRITE_CHUNK)];
+        match stream.write(chunk) {
+            Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+            Ok(n) => buf = &buf[n..],
+            Err(e) if is_timeout(&e) => {
+                if deadline.expired() {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "response write stalled past the write deadline",
+                    ));
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// Writes one JSON response with an explicit `Content-Length`, bounded
+/// by `write_timeout`. `retry_after` adds a `Retry-After: <seconds>`
+/// header (shed and quarantine answers carry one).
+///
+/// # Errors
+///
+/// Propagates socket errors; a peer that stops reading surfaces as
+/// [`io::ErrorKind::TimedOut`] once the deadline passes.
 pub(crate) fn write_response(
     stream: &mut TcpStream,
     status: u16,
     body: &str,
     keep_alive: bool,
+    retry_after: Option<u64>,
+    write_timeout: Duration,
 ) -> io::Result<()> {
+    let deadline = Deadline::after(write_timeout);
     let connection = if keep_alive { "keep-alive" } else { "close" };
+    let retry = match retry_after {
+        Some(secs) => format!("retry-after: {secs}\r\n"),
+        None => String::new(),
+    };
     let head = format!(
         "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\n\
-         content-length: {}\r\nconnection: {connection}\r\n\r\n",
+         content-length: {}\r\n{retry}connection: {connection}\r\n\r\n",
         reason(status),
         body.len(),
     );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
+    write_all_by(stream, head.as_bytes(), deadline)?;
+    write_all_by(stream, body.as_bytes(), deadline)?;
     stream.flush()
 }
 
@@ -161,18 +331,68 @@ pub fn http_call(
     path: &str,
     body: &str,
 ) -> io::Result<(u16, String)> {
+    http_call_headers(addr, method, path, body).map(|(status, _, body)| (status, body))
+}
+
+/// Like [`http_call`], but also returns the response headers as
+/// lower-cased `(name, value)` pairs — for callers that need
+/// `Retry-After` or `Connection` semantics (the overload tests and the
+/// shed-aware load generators).
+///
+/// # Errors
+///
+/// As for [`http_call`].
+pub fn http_call_headers(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> io::Result<Response> {
     let stream = TcpStream::connect(addr)?;
     stream.set_read_timeout(Some(Duration::from_secs(30)))?;
     let mut writer = stream.try_clone()?;
+    send_request(&mut writer, method, path, body, false)?;
+    let mut reader = BufReader::new(stream);
+    read_response(&mut reader)
+}
+
+/// Writes one request (`Content-Length`-framed) on an open connection.
+/// With `keep_alive` the connection can carry further requests; the
+/// overload and drain tests use this to park a server worker on a live
+/// keep-alive socket.
+///
+/// # Errors
+///
+/// Propagates socket write errors.
+pub fn send_request(
+    stream: &mut TcpStream,
+    method: &str,
+    path: &str,
+    body: &str,
+    keep_alive: bool,
+) -> io::Result<()> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
     let request = format!(
-        "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-length: {}\r\n\
-         connection: close\r\n\r\n{body}",
+        "{method} {path} HTTP/1.1\r\ncontent-length: {}\r\n\
+         connection: {connection}\r\n\r\n{body}",
         body.len(),
     );
-    writer.write_all(request.as_bytes())?;
-    writer.flush()?;
+    stream.write_all(request.as_bytes())?;
+    stream.flush()
+}
 
-    let mut reader = BufReader::new(stream);
+/// A decoded client-side response: status code, lower-cased
+/// `(name, value)` header pairs, and the body.
+pub type Response = (u16, Vec<(String, String)>, String);
+
+/// Reads one response off an open connection: status, lower-cased
+/// header pairs, and the `Content-Length`-delimited body.
+///
+/// # Errors
+///
+/// Propagates read errors; a malformed status line or missing
+/// `Content-Length` surfaces as [`io::ErrorKind::InvalidData`].
+pub fn read_response(reader: &mut BufReader<TcpStream>) -> io::Result<Response> {
     let mut status_line = String::new();
     reader.read_line(&mut status_line)?;
     let status = status_line
@@ -185,6 +405,7 @@ pub fn http_call(
                 format!("bad status line `{}`", status_line.trim_end()),
             )
         })?;
+    let mut headers = Vec::new();
     let mut content_length = None;
     loop {
         let mut header = String::new();
@@ -196,9 +417,12 @@ pub fn http_call(
             break;
         }
         if let Some((name, value)) = header.split_once(':') {
-            if name.eq_ignore_ascii_case("content-length") {
-                content_length = value.trim().parse::<usize>().ok();
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim().to_string();
+            if name == "content-length" {
+                content_length = value.parse::<usize>().ok();
             }
+            headers.push((name, value));
         }
     }
     let n = content_length
@@ -207,5 +431,5 @@ pub fn http_call(
     reader.read_exact(&mut body)?;
     let body = String::from_utf8(body)
         .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-utf-8 body"))?;
-    Ok((status, body))
+    Ok((status, headers, body))
 }

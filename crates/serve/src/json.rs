@@ -4,11 +4,18 @@
 //! `hm-logic`'s diagnostics module, this carries a recursive-descent
 //! reader and an escape-aware writer — just enough for the fixed query
 //! schema. Numbers are parsed as `f64` and narrowed on access.
+//!
+//! The reader is exposed to adversarial input (any `POST /query` body up
+//! to 1 MiB), so it is hardened accordingly: nesting deeper than
+//! [`MAX_DEPTH`] is rejected with an error instead of recursing — a body
+//! of a million `[`s must answer `400`, not blow the worker stack — and
+//! the fuzz suite in `tests/props_json.rs` pins "never panics" over
+//! arbitrary and structurally-mutated inputs.
 
 use std::fmt::Write as _;
 
 /// Appends `s` to `out` as a JSON string literal.
-pub(crate) fn esc(out: &mut String, s: &str) {
+pub fn esc(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -26,9 +33,13 @@ pub(crate) fn esc(out: &mut String, s: &str) {
     out.push('"');
 }
 
+/// Deepest accepted nesting of arrays/objects. Far beyond anything the
+/// request schema needs, and far below what overflows a worker stack.
+pub const MAX_DEPTH: usize = 64;
+
 /// A parsed JSON value, just enough for the request schema.
-#[derive(Debug)]
-pub(crate) enum Value {
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
     /// `null`.
     Null,
     /// `true` / `false`.
@@ -45,10 +56,11 @@ pub(crate) enum Value {
 
 impl Value {
     /// Parses one JSON document; rejects trailing input.
-    pub(crate) fn parse(src: &str) -> Result<Value, String> {
+    pub fn parse(src: &str) -> Result<Value, String> {
         let mut p = Parser {
             bytes: src.as_bytes(),
             at: 0,
+            depth: 0,
         };
         p.skip_ws();
         let v = p.value()?;
@@ -60,7 +72,7 @@ impl Value {
     }
 
     /// The value of field `name`, or `None` when absent or `null`.
-    pub(crate) fn opt_field(&self, name: &str) -> Option<&Value> {
+    pub fn opt_field(&self, name: &str) -> Option<&Value> {
         match self {
             Value::Obj(fields) => fields
                 .iter()
@@ -72,7 +84,7 @@ impl Value {
     }
 
     /// The value of required field `name`.
-    pub(crate) fn field(&self, name: &str) -> Result<&Value, String> {
+    pub fn field(&self, name: &str) -> Result<&Value, String> {
         match self {
             Value::Obj(_) => self
                 .opt_field(name)
@@ -84,8 +96,7 @@ impl Value {
     /// This value as an array slice. The request schema has no array
     /// fields (yet); the parser still accepts arrays so future fields
     /// and round-trip tests can use them.
-    #[cfg_attr(not(test), allow(dead_code))]
-    pub(crate) fn array(&self) -> Result<&[Value], String> {
+    pub fn array(&self) -> Result<&[Value], String> {
         match self {
             Value::Arr(xs) => Ok(xs),
             _ => Err("expected an array".to_string()),
@@ -93,7 +104,7 @@ impl Value {
     }
 
     /// This value as a string.
-    pub(crate) fn string(&self) -> Result<String, String> {
+    pub fn string(&self) -> Result<String, String> {
         match self {
             Value::Str(s) => Ok(s.clone()),
             _ => Err("expected a string".to_string()),
@@ -101,7 +112,7 @@ impl Value {
     }
 
     /// This value as a boolean.
-    pub(crate) fn boolean(&self) -> Result<bool, String> {
+    pub fn boolean(&self) -> Result<bool, String> {
         match self {
             Value::Bool(b) => Ok(*b),
             _ => Err("expected a boolean".to_string()),
@@ -110,17 +121,65 @@ impl Value {
 
     /// This value as a non-negative integer.
     #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
-    pub(crate) fn u64(&self) -> Result<u64, String> {
+    pub fn u64(&self) -> Result<u64, String> {
         match self {
             Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Ok(*n as u64),
             _ => Err("expected a non-negative integer".to_string()),
         }
+    }
+
+    /// Appends this value to `out` as JSON text.
+    ///
+    /// Inverse of [`parse`](Self::parse) for every value `parse` can
+    /// produce (non-finite numbers cannot come out of the parser and
+    /// would not serialize as valid JSON).
+    pub fn write(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Num(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Value::Str(s) => esc(out, s),
+            Value::Arr(xs) => {
+                out.push('[');
+                for (i, x) in xs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    x.write(out);
+                }
+                out.push(']');
+            }
+            Value::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    esc(out, k);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// This value as a JSON document string.
+    #[must_use]
+    pub fn to_json_string(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
     }
 }
 
 struct Parser<'a> {
     bytes: &'a [u8],
     at: usize,
+    /// Current array/object nesting, checked against [`MAX_DEPTH`].
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -152,6 +211,20 @@ impl Parser<'_> {
         }
     }
 
+    /// Charges one level of array/object nesting; fails past
+    /// [`MAX_DEPTH`] so adversarially nested bodies are rejected
+    /// instead of recursing until the stack runs out.
+    fn descend(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(format!(
+                "nesting deeper than {MAX_DEPTH} at byte {}",
+                self.at
+            ));
+        }
+        Ok(())
+    }
+
     fn value(&mut self) -> Result<Value, String> {
         match self.bytes.get(self.at) {
             Some(b'n') => self.lit("null", Value::Null),
@@ -159,11 +232,13 @@ impl Parser<'_> {
             Some(b'f') => self.lit("false", Value::Bool(false)),
             Some(b'"') => self.string().map(Value::Str),
             Some(b'[') => {
+                self.descend()?;
                 self.at += 1;
                 let mut xs = Vec::new();
                 self.skip_ws();
                 if self.bytes.get(self.at) == Some(&b']') {
                     self.at += 1;
+                    self.depth -= 1;
                     return Ok(Value::Arr(xs));
                 }
                 loop {
@@ -174,16 +249,19 @@ impl Parser<'_> {
                         self.at += 1;
                     } else {
                         self.eat(b']')?;
+                        self.depth -= 1;
                         return Ok(Value::Arr(xs));
                     }
                 }
             }
             Some(b'{') => {
+                self.descend()?;
                 self.at += 1;
                 let mut fields = Vec::new();
                 self.skip_ws();
                 if self.bytes.get(self.at) == Some(&b'}') {
                     self.at += 1;
+                    self.depth -= 1;
                     return Ok(Value::Obj(fields));
                 }
                 loop {
@@ -198,6 +276,7 @@ impl Parser<'_> {
                         self.at += 1;
                     } else {
                         self.eat(b'}')?;
+                        self.depth -= 1;
                         return Ok(Value::Obj(fields));
                     }
                 }
@@ -315,6 +394,36 @@ mod tests {
         assert!(Value::parse("{").is_err());
         assert!(Value::parse("{} trailing").is_err());
         assert!(Value::parse(r#"{"a":0x1}"#).is_err());
+    }
+
+    #[test]
+    fn nesting_is_capped_not_stack_fatal() {
+        // Exactly at the cap: fine.
+        let ok = format!("{}0{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(Value::parse(&ok).is_ok());
+        // One past the cap: a parse error naming the limit.
+        let over = format!(
+            "{}0{}",
+            "[".repeat(MAX_DEPTH + 1),
+            "]".repeat(MAX_DEPTH + 1)
+        );
+        let err = Value::parse(&over).unwrap_err();
+        assert!(err.contains("nesting"), "{err}");
+        // A megabyte of open brackets — the blow-the-stack shape — is
+        // rejected by the same check, without a megabyte of recursion.
+        assert!(Value::parse(&"[".repeat(1 << 20)).is_err());
+        assert!(Value::parse(&"{\"a\":".repeat(200_000)).is_err());
+        // Wide is not deep: many siblings are fine.
+        let wide = format!("[{}0]", "0,".repeat(10_000));
+        assert!(Value::parse(&wide).is_ok());
+    }
+
+    #[test]
+    fn writer_round_trips() {
+        let src = r#"{"a":[1,2.5,-3],"b":{"c":null,"d":true},"e":"x\ny"}"#;
+        let v = Value::parse(src).unwrap();
+        let out = v.to_json_string();
+        assert_eq!(Value::parse(&out).unwrap(), v);
     }
 
     #[test]

@@ -35,6 +35,38 @@
 //! phase, and spend; a panicking worker (exercised by failpoint
 //! injection in the tests) answers `500` and keeps serving.
 //!
+//! # Overload and fault tolerance
+//!
+//! The server is hardened end to end against overload and hostile
+//! peers:
+//!
+//! * **Admission control** — accepted connections flow through a
+//!   *bounded* queue ([`ServeConfig::queue_depth`]); when it and every
+//!   worker are busy, new connections are shed immediately with `503`
+//!   plus a `Retry-After` header estimated from the backlog and the
+//!   rolling mean query time, counted under `requests.shed` in
+//!   `/stats`.
+//! * **Deadlines both ways** — a request must arrive within
+//!   [`ServeConfig::request_timeout`] of its first byte (a slowloris
+//!   trickle gets `408`), and a response must drain within
+//!   [`ServeConfig::write_timeout`] (a reader that stops draining gets
+//!   the write aborted, freeing the worker).
+//! * **Graceful drain** — [`ServerHandle::shutdown`] stops accepting,
+//!   finishes queued and in-flight requests with `Connection: close`,
+//!   and joins — bounded by [`ServeConfig::drain_timeout`], reporting
+//!   abandoned workers in its [`DrainReport`].
+//! * **Quarantine** — a spec whose requests keep panicking trips a
+//!   per-spec circuit breaker after
+//!   [`ServeConfig::quarantine_threshold`] consecutive contained
+//!   panics and answers `503 quarantined` for the cooldown, then
+//!   half-opens with one probe.
+//! * **`/stats?window=60s`** — a per-second history ring serves
+//!   windowed load aggregates next to the cumulative counters.
+//!
+//! The [`faultnet`] module provides the deterministic socket-level
+//! fault-injection proxy (partial writes, stalls, byte-trickle,
+//! mid-stream resets) the integration suites drive these paths with.
+//!
 //! # In-process use
 //!
 //! The server binds separately from starting, so tests and embedders
@@ -57,10 +89,11 @@
 #![warn(missing_docs)]
 
 mod cache;
+pub mod faultnet;
 mod http;
-mod json;
+pub mod json;
 mod server;
 mod stats;
 
-pub use http::http_call;
-pub use server::{selftest, ServeConfig, Server, ServerHandle};
+pub use http::{http_call, http_call_headers, read_response, send_request, Response};
+pub use server::{overload_smoke, selftest, DrainReport, ServeConfig, Server, ServerHandle};

@@ -8,7 +8,8 @@
 #![cfg(feature = "failpoints")]
 
 use hm_engine::limits::failpoints::{Action, FailScenario};
-use hm_serve::{http_call, ServeConfig, Server};
+use hm_serve::{http_call, http_call_headers, ServeConfig, Server};
+use std::time::Duration;
 
 #[test]
 fn injected_worker_panic_answers_500_and_server_survives() {
@@ -66,5 +67,66 @@ fn panic_during_engine_build_is_contained_too() {
     let (status, response) = http_call(addr, "POST", "/query", body).expect("after clear");
     assert_eq!(status, 200, "{response}");
     assert!(response.contains("\"engine_cache\":\"miss\""), "{response}");
+    handle.shutdown();
+}
+
+#[test]
+fn repeated_panics_quarantine_the_spec_until_a_probe_succeeds() {
+    let sc = FailScenario::setup();
+    let server = Server::bind(&ServeConfig {
+        workers: 1,
+        quarantine_threshold: 2,
+        quarantine_cooldown: Duration::from_millis(400),
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let handle = server.start().expect("start");
+
+    let generals = r#"{"spec":"generals","formula":"K1 dispatched"}"#;
+    let muddy = r#"{"spec":"muddy","formula":"K1 muddy1"}"#;
+    let (status, body) = http_call(addr, "POST", "/query", generals).expect("warm");
+    assert_eq!(status, 200, "{body}");
+
+    // Two consecutive panics on the same spec trip the breaker.
+    sc.configure("logic::eval", Action::Panic);
+    for _ in 0..2 {
+        let (status, body) = http_call(addr, "POST", "/query", generals).expect("injected");
+        assert_eq!(status, 500, "{body}");
+    }
+
+    // The third request is refused up front — no engine touched, so it
+    // answers 503 even though the failpoint is still armed.
+    let (status, headers, body) =
+        http_call_headers(addr, "POST", "/query", generals).expect("quarantined");
+    assert_eq!(status, 503, "{body}");
+    assert!(body.contains("\"kind\":\"quarantined\""), "{body}");
+    assert!(
+        headers
+            .iter()
+            .any(|(name, value)| name == "retry-after" && value.parse::<u64>().is_ok()),
+        "{headers:?}"
+    );
+    sc.clear("logic::eval");
+
+    // The breaker is per spec: a different scenario still serves while
+    // `generals` sits out its cooldown.
+    let (status, body) = http_call(addr, "POST", "/query", muddy).expect("other spec");
+    assert_eq!(status, 200, "{body}");
+    let (status, body) = http_call(addr, "POST", "/query", generals).expect("still cooling");
+    assert_eq!(status, 503, "{body}");
+
+    // After the cooldown a probe request goes through; its success
+    // closes the breaker for good.
+    std::thread::sleep(Duration::from_millis(450));
+    for _ in 0..2 {
+        let (status, body) = http_call(addr, "POST", "/query", generals).expect("probe");
+        assert_eq!(status, 200, "{body}");
+    }
+
+    let (status, stats) = http_call(addr, "GET", "/stats", "").expect("stats");
+    assert_eq!(status, 200);
+    assert!(stats.contains("\"quarantined\":2"), "{stats}");
+    assert!(stats.contains("\"quarantined_specs\":0"), "{stats}");
     handle.shutdown();
 }

@@ -1,0 +1,166 @@
+//! Fuzz properties for the hardened JSON reader behind `POST /query`.
+//!
+//! The parser faces arbitrary request bodies up to 1 MiB, so the
+//! contract is blunt: **never panic** — answer `Ok` or `Err`, whatever
+//! the input. Three generators attack it from different angles:
+//!
+//! 1. raw byte soup (any bytes, lossily decoded),
+//! 2. structurally-mutated valid documents (a valid tree is serialized,
+//!    then truncated / spliced / byte-flipped), and
+//! 3. valid trees, which must round-trip exactly through the writer.
+//!
+//! All generation is deterministic per case seed (the workspace's
+//! `hm-proptest` shim pins seeds), so failures replay.
+
+use hm_serve::json::{Value, MAX_DEPTH};
+use proptest::prelude::*;
+use proptest::strategy::BoxedStrategy;
+
+/// Deterministic byte expansion from a seed (SplitMix64 step).
+fn bytes_from(mut seed: u64, len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        seed = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = seed;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        out.push((z & 0xff) as u8);
+    }
+    out
+}
+
+/// Small strings exercising escapes, unicode, and JSON punctuation.
+fn string_strategy() -> BoxedStrategy<String> {
+    const ALPHABET: &[&str] = &[
+        "a", "b", "spec", "formula", "\"", "\\", "\n", "\t", "\u{1}", "λ", "💡", "{", "}", "[",
+        "]", ":", ",", "0",
+    ];
+    (0u64..u64::MAX, 0usize..8)
+        .prop_map(|(seed, len)| {
+            bytes_from(seed, len)
+                .into_iter()
+                .map(|b| ALPHABET[b as usize % ALPHABET.len()])
+                .collect()
+        })
+        .boxed()
+}
+
+/// Finite numbers, integer and fractional (the writer's `{n}` display
+/// is shortest-round-trip, so these must survive a parse cycle).
+fn num_strategy() -> BoxedStrategy<f64> {
+    prop_oneof![
+        3 => (-1_000_000i64..1_000_000).prop_map(|n| n as f64),
+        1 => (-4096i64..4096, 1u64..64).prop_map(|(n, d)| n as f64 / d as f64),
+        1 => Just(f64::MAX),
+        1 => Just(-0.0),
+    ]
+    .boxed()
+}
+
+/// Random JSON trees, at most 3 levels deep (well under [`MAX_DEPTH`]).
+fn value_strategy() -> BoxedStrategy<Value> {
+    let leaf = prop_oneof![
+        1 => Just(Value::Null),
+        1 => Just(Value::Bool(true)),
+        1 => Just(Value::Bool(false)),
+        2 => num_strategy().prop_map(Value::Num),
+        2 => string_strategy().prop_map(Value::Str),
+    ];
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            1 => Just(Value::Arr(Vec::new())),
+            2 => inner.clone().prop_map(|v| Value::Arr(vec![v])),
+            2 => (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Value::Arr(vec![a, b])),
+            1 => Just(Value::Obj(Vec::new())),
+            2 => (string_strategy(), inner.clone())
+                .prop_map(|(k, v)| Value::Obj(vec![(k, v)])),
+            2 => (string_strategy(), inner.clone(), string_strategy(), inner)
+                .prop_map(|(k1, v1, k2, v2)| Value::Obj(vec![(k1, v1), (k2, v2)])),
+        ]
+    })
+}
+
+/// Applies one seeded structural mutation to a JSON document.
+fn mutate(doc: &str, seed: u64, kind: u8) -> String {
+    let bytes = doc.as_bytes();
+    if bytes.is_empty() {
+        return String::from_utf8_lossy(&bytes_from(seed, 8)).into_owned();
+    }
+    let at = (seed as usize) % bytes.len();
+    let noise = bytes_from(seed ^ 0xdead_beef, 4);
+    let mutated: Vec<u8> = match kind % 5 {
+        // Truncate: framing errors (unterminated strings, open brackets).
+        0 => bytes[..at].to_vec(),
+        // Insert a random byte mid-document.
+        1 => {
+            let mut v = bytes.to_vec();
+            v.insert(at, noise[0]);
+            v
+        }
+        // Overwrite a byte (turns `:` into garbage, `"` into `\`, …).
+        2 => {
+            let mut v = bytes.to_vec();
+            v[at] = noise[0];
+            v
+        }
+        // Duplicate the tail after a random point (trailing input).
+        3 => {
+            let mut v = bytes.to_vec();
+            v.extend_from_slice(&bytes[at..]);
+            v
+        }
+        // Delete a byte (drops a quote, a comma, a digit).
+        _ => {
+            let mut v = bytes.to_vec();
+            v.remove(at);
+            v
+        }
+    };
+    String::from_utf8_lossy(&mutated).into_owned()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Raw byte soup: the parser may reject, never die.
+    #[test]
+    fn arbitrary_bytes_never_panic(seed in 0u64..u64::MAX, len in 0usize..2048) {
+        let soup = String::from_utf8_lossy(&bytes_from(seed, len)).into_owned();
+        let _ = Value::parse(&soup);
+    }
+
+    /// Structured-but-broken documents: start valid, break one thing.
+    #[test]
+    fn mutated_valid_documents_never_panic(
+        v in value_strategy(),
+        seed in 0u64..u64::MAX,
+        kind in 0u8..5,
+    ) {
+        let doc = v.to_json_string();
+        let mutated = mutate(&doc, seed, kind);
+        let _ = Value::parse(&mutated);
+    }
+
+    /// The writer inverts the parser on everything the parser accepts.
+    #[test]
+    fn valid_values_round_trip(v in value_strategy()) {
+        let doc = v.to_json_string();
+        let back = Value::parse(&doc);
+        prop_assert_eq!(back.as_ref(), Ok(&v), "document: {}", doc);
+    }
+
+    /// Nesting past the cap is an error at every depth, not a crash.
+    #[test]
+    fn deep_nesting_is_always_rejected(extra in 1usize..512, brace in 0u8..2) {
+        let depth = MAX_DEPTH + extra;
+        let doc = if brace == 0 {
+            format!("{}0{}", "[".repeat(depth), "]".repeat(depth))
+        } else {
+            "{\"k\":".repeat(depth)
+        };
+        let err = Value::parse(&doc);
+        prop_assert!(err.is_err(), "depth {} must be rejected", depth);
+    }
+}
